@@ -1,0 +1,123 @@
+// Command teemcal prints the thermal/power calibration of the platform
+// model: steady-state temperatures per operating point, heating and
+// cooling time scales, and the board power envelope. Use it to verify a
+// platform description before running experiments, or to re-derive the
+// targets documented in DESIGN.md §4.
+//
+// Usage:
+//
+//	teemcal
+//	teemcal -app SR -big 4 -little 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"teem/internal/mapping"
+	"teem/internal/power"
+	"teem/internal/report"
+	"teem/internal/sim"
+	"teem/internal/soc"
+	"teem/internal/thermal"
+	"teem/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("teemcal: ")
+
+	var (
+		appCode = flag.String("app", "CV", "application used for the load cases")
+		nBig    = flag.Int("big", 3, "big cores in the load mapping")
+		nLittle = flag.Int("little", 2, "LITTLE cores in the load mapping")
+	)
+	flag.Parse()
+
+	plat := soc.Exynos5422()
+	net := thermal.Exynos5422Network()
+	app, err := workload.ByShort(*appCode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := mapping.Mapping{Big: *nBig, Little: *nLittle, UseGPU: true}
+
+	// Power envelope.
+	pm, err := power.NewModel(plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idle, err := pm.Evaluate(power.IdleLoads(plat, 40), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("board power envelope: idle %.2f W (baseline %.2f W)\n\n", idle.TotalW(), plat.BoardBaselineW)
+
+	// Steady-state ladder per big OPP for the chosen load.
+	t := &report.Table{
+		Title: fmt.Sprintf("steady-state temperatures, %s on %s (both chunks busy)",
+			app.Name, m),
+		Headers: []string{"big MHz", "A15 (°C)", "Mali (°C)", "pkg (°C)", "board (W)"},
+	}
+	for _, f := range []int{900, 1200, 1400, 1600, 1800, 2000} {
+		cfg := sim.Config{
+			Platform: plat, Net: net, App: app,
+			Map: m, Part: mapping.Partition{Num: 4, Den: 8},
+			Freq: mapping.FreqSetting{BigMHz: f, LittleMHz: 1400, GPUMHz: 600},
+		}
+		e, err := sim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := e.SteadyTemps(1, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bi := net.NodeIndex("A15")
+		gi := net.NodeIndex("MaliT628")
+		pi := net.NodeIndex("pkg")
+		t.AddRow(
+			fmt.Sprintf("%d", f),
+			fmt.Sprintf("%.1f", st[bi]),
+			fmt.Sprintf("%.1f", st[gi]),
+			fmt.Sprintf("%.1f", st[pi]),
+			"",
+		)
+	}
+	fmt.Println(t.Render())
+
+	// Transient time scales.
+	cross := func(start []float64, target float64, fBig int) float64 {
+		tm, err := thermal.NewModel(net, plat.AmbientC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if start != nil {
+			if err := tm.SetTemps(start); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Fixed representative powers for the big@2000 load case.
+		p := []float64{4.5, 0.4, 2.2, 1.85}
+		if fBig == 900 {
+			p[0] = 1.5
+		}
+		bi := net.NodeIndex("A15")
+		for ts := 0.0; ts < 300; ts += 0.05 {
+			if err := tm.Step(p, 0.05); err != nil {
+				log.Fatal(err)
+			}
+			if (fBig != 900 && tm.Temp(bi) >= target) || (fBig == 900 && tm.Temp(bi) <= target) {
+				return ts
+			}
+		}
+		return -1
+	}
+	fmt.Printf("cold start → 85 °C at 2000 MHz: %6.1f s\n", cross(nil, 85, 2000))
+	fmt.Printf("cold start → 95 °C at 2000 MHz: %6.1f s\n", cross(nil, 95, 2000))
+	fmt.Printf("warm 90 °C → 95 °C at 2000 MHz: %6.1f s\n",
+		cross([]float64{90, 75, 85, 85}, 95, 2000))
+	fmt.Printf("throttled 95 → 87 °C at 900 MHz: %6.1f s\n",
+		cross([]float64{95, 75, 88, 84}, 87, 900))
+}

@@ -1,0 +1,95 @@
+// Command teemprofile runs TEEM's offline phase for one application:
+// profiling across the CPU mappings 1L+1B…4L+4B, the full regression fit
+// (paper Table I), the log-transformed runtime model (Table II), the
+// scatterplot matrix (Fig. 3) and the residual plot (Fig. 4), plus the
+// stored-model footprint of §V.D.
+//
+// Usage:
+//
+//	teemprofile -app COVARIANCE
+//	teemprofile -app SYRK -observations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"teem/internal/core"
+	"teem/internal/experiments"
+	"teem/internal/mapping"
+	"teem/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("teemprofile: ")
+
+	var (
+		appName  = flag.String("app", "COVARIANCE", "Polybench application name")
+		showObs  = flag.Bool("observations", false, "print the raw profiling observations")
+		savePath = flag.String("save", "", "write the runtime model store (JSON) to this file")
+	)
+	flag.Parse()
+
+	env, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := env.ProfileApp(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *showObs {
+		t := &report.Table{
+			Title:   fmt.Sprintf("profiling observations (%s)", *appName),
+			Headers: []string{"mapping", "M", "AT (°C)", "PT (°C)", "ET (s)", "EC (J)"},
+		}
+		for _, o := range m.Model.Observations {
+			t.AddRow(o.Map.String(),
+				fmt.Sprintf("%.0f", o.M),
+				fmt.Sprintf("%.1f", o.ATC),
+				fmt.Sprintf("%.1f", o.PTC),
+				fmt.Sprintf("%.1f", o.ETS),
+				fmt.Sprintf("%.0f", o.ECJ))
+		}
+		fmt.Println(t.Render())
+	}
+
+	fmt.Println(m.Fig3())
+	fmt.Println(m.TableI())
+	fmt.Println(m.TableII())
+	fmt.Println(m.Fig4())
+
+	fmt.Printf("stored runtime model: %d bytes (%d coefficients + ETGPU %.1f s) — vs %d bytes for a %d-entry design-point table\n",
+		m.Model.StorageBytes(), mapping.ModelCoefficients, m.Model.ETGPUSec,
+		mapping.EEMPStorageBytes(), mapping.EEMPStoredItems())
+
+	// Demonstrate an online decision with the fitted model.
+	treq := m.Model.ETGPUSec / 2
+	dec, err := env.Manager().Decide(*appName, treq, core.DefaultParams().ThresholdC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online decision for TREQ=%.1fs, AT=85°C: mapping %s, partition %s (predicted M=%.2f, WGCPU=%.3f)\n",
+		treq, dec.Map, dec.Part, dec.PredictedM, dec.WGCPU)
+
+	if *savePath != "" {
+		st, err := env.Manager().Export()
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := st.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("runtime store written to %s (%d models; load with core.LoadStore + Manager.Import)\n",
+			*savePath, len(st.Models))
+	}
+}

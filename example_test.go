@@ -1,0 +1,70 @@
+package teem_test
+
+import (
+	"fmt"
+
+	"teem"
+)
+
+// ExampleNewManager shows the complete offline → online pipeline on the
+// default platform.
+func ExampleNewManager() {
+	mgr, err := teem.NewManager(teem.Exynos5422(), teem.Exynos5422Thermal(), teem.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	app := teem.Covariance()
+	model, err := mgr.Profile(app)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("runtime store: %d bytes\n", model.StorageBytes())
+
+	res, dec, err := mgr.Run(app, model.ETGPUSec/2, 85)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("partition: %s, hardware trips: %d, completed: %v\n",
+		dec.Part, res.ThrottleEvents, res.Completed)
+	// Output:
+	// runtime store: 32 bytes
+	// partition: 4/8, hardware trips: 0, completed: true
+}
+
+// ExampleNewSpace reproduces the paper's design-space counts (Eqs. 1–2).
+func ExampleNewSpace() {
+	sp, err := teem.NewSpace(teem.Exynos5422())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sp.CountCPUMappings())  // Eq. (1)
+	fmt.Println(sp.MaxDesignPoints())   // Eq. (2)
+	fmt.Println(sp.TotalDesignPoints()) // × 9 partition grains
+	// Output:
+	// 24
+	// 28560
+	// 257040
+}
+
+// ExampleNearestPartition snaps Eq. (9) fractions to the paper's grains.
+func ExampleNearestPartition() {
+	// TREQ = half of ETGPU → WGCPU = 0.5 → the paper's partition 1024.
+	p := teem.NearestPartition(0.5)
+	fmt.Println(p, p.CPUItems(2048))
+	// Output:
+	// 4/8 1024
+}
+
+// ExampleRunPartitioned validates partition invariance of a real kernel.
+func ExampleRunPartitioned() {
+	ref, _ := teem.NewKernel("GEMM", 24)
+	ref.RunRows(0, ref.Rows())
+
+	k, _ := teem.NewKernel("GEMM", 24)
+	if err := teem.RunPartitioned(k, 0.375, 4); err != nil {
+		panic(err)
+	}
+	fmt.Println(k.Checksum() == ref.Checksum())
+	// Output:
+	// true
+}

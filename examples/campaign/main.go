@@ -1,0 +1,65 @@
+// Campaign: back-to-back execution of several applications with the
+// thermal state carried between them — the situation a real device lives
+// in. Later jobs inherit a hot chip: an unmanaged campaign degrades and
+// throttles progressively, while a TEEM-regulated campaign stays inside
+// its thermal band from the first job to the last.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teem"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	apps := []string{"CV", "SR", "2M", "CR"}
+	build := func(gov func() teem.Governor) []teem.Job {
+		var jobs []teem.Job
+		for _, code := range apps {
+			app, err := teem.AppByShort(code)
+			if err != nil {
+				log.Fatal(err)
+			}
+			jobs = append(jobs, teem.Job{
+				App:      app,
+				Map:      teem.Mapping{Big: 4, Little: 2, UseGPU: true},
+				Part:     teem.Partition{Num: 4, Den: 8},
+				Governor: gov(),
+			})
+		}
+		return jobs
+	}
+
+	run := func(name string, gov func() teem.Governor) *teem.CampaignResult {
+		res, err := teem.RunCampaign(teem.CampaignConfig{
+			Platform: teem.Exynos5422(),
+			Net:      teem.Exynos5422Thermal(),
+			GapS:     2, // two seconds of app-launch idle between jobs
+		}, build(gov))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s:\n", name)
+		trips := 0
+		for i, jr := range res.Jobs {
+			fmt.Printf("  job %d (%-2s): %5.1f s  %4.0f J  avg %.1f °C  peak %.1f °C  trips %d\n",
+				i+1, apps[i], jr.ExecTimeS, jr.EnergyJ, jr.AvgTempC, jr.PeakTempC, jr.ThrottleEvents)
+			trips += jr.ThrottleEvents
+		}
+		fmt.Printf("  total: %.1f s, %.0f J, campaign peak %.1f °C, %d hardware trips\n",
+			res.TotalTimeS, res.TotalEnergyJ, res.PeakTempC, trips)
+		return res
+	}
+
+	unmanaged := run("unmanaged (performance governor + TMU)", teem.NewPerformance)
+	managed := run("TEEM-regulated", func() teem.Governor {
+		return teem.NewController(teem.DefaultParams())
+	})
+
+	fmt.Printf("\nTEEM across the campaign: %.1f%% less energy, %.1f °C lower peak\n",
+		100*(unmanaged.TotalEnergyJ-managed.TotalEnergyJ)/unmanaged.TotalEnergyJ,
+		unmanaged.PeakTempC-managed.PeakTempC)
+}

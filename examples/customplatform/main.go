@@ -1,0 +1,127 @@
+// Customplatform: TEEM is not tied to the Exynos 5422 — describe any
+// CPU-GPU MPSoC (clusters, OPP tables, thermal RC network) and the same
+// manager, governors and baselines run unchanged. This example models a
+// fanless automotive-style SoC with a hotter ambient and wider big
+// cluster, then lets TEEM regulate it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teem"
+)
+
+// buildPlatform describes a hypothetical "AutoSoC-8": 8 big cores up to
+// 2400 MHz, 4 efficiency cores, an 8-shader GPU, passive cooling, 45 °C
+// cabin ambient.
+func buildPlatform() *teem.Platform {
+	ramp := func(lo, hi, step int, vLo, vHi float64) []teem.OPP {
+		var opps []teem.OPP
+		n := (hi - lo) / step
+		for i := 0; i <= n; i++ {
+			f := lo + i*step
+			v := vLo + (vHi-vLo)*float64(i)/float64(n)
+			opps = append(opps, teem.OPP{FreqMHz: f, VoltV: v})
+		}
+		return opps
+	}
+	return &teem.Platform{
+		Name: "AutoSoC-8",
+		Clusters: []teem.Cluster{
+			{
+				Name: "P-core", Kind: teem.BigCPU, NumCores: 8,
+				OPPs:       ramp(400, 2400, 200, 0.85, 1.30),
+				CdynCoreNF: 0.42, LeakCoeff: 0.12, LeakTempCoeff: 0.012,
+			},
+			{
+				Name: "E-core", Kind: teem.LittleCPU, NumCores: 4,
+				OPPs:       ramp(400, 1600, 200, 0.80, 1.10),
+				CdynCoreNF: 0.09, LeakCoeff: 0.03, LeakTempCoeff: 0.010,
+			},
+			{
+				Name: "iGPU", Kind: teem.GPUKind, NumCores: 8,
+				OPPs:       ramp(200, 800, 100, 0.85, 1.10),
+				CdynCoreNF: 0.50, LeakCoeff: 0.05, LeakTempCoeff: 0.010,
+			},
+		},
+		BoardBaselineW:  3.5,
+		DRAMPowerPerGBs: 0.25,
+		AmbientC:        45, // cabin heat
+		TripC:           105,
+		TripReleaseC:    98,
+		TripCapMHz:      1000,
+	}
+}
+
+// buildThermal wires a passive (no-fan) RC network: higher resistances to
+// ambient than the Odroid's, so thermal management matters even more.
+func buildThermal() *teem.ThermalNetwork {
+	return &teem.ThermalNetwork{
+		Nodes: []teem.ThermalNode{
+			{Name: "P-core", HeatCapJ: 2.0},
+			{Name: "E-core", HeatCapJ: 0.7},
+			{Name: "iGPU", HeatCapJ: 1.8},
+			{Name: "pkg", HeatCapJ: 4.0},
+		},
+		Links: []teem.ThermalLink{
+			{A: 0, B: 3, ResCW: 2.5},
+			{A: 1, B: 3, ResCW: 5.0},
+			{A: 2, B: 3, ResCW: 2.5},
+			{A: 3, B: teem.Ambient, ResCW: 6.0}, // passive heatsink
+			{A: 0, B: teem.Ambient, ResCW: 50},
+			{A: 2, B: teem.Ambient, ResCW: 60},
+		},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+
+	plat := buildPlatform()
+	net := buildThermal()
+	if err := plat.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A hotter platform wants a higher threshold and floor; everything
+	// else is the same TEEM.
+	params := teem.DefaultParams()
+	params.ThresholdC = 95
+	params.FloorMHz = 1600
+
+	mgr, err := teem.NewManager(plat, net, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := teem.Covariance()
+	model, err := mgr.Profile(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AutoSoC-8 profiled: ETGPU = %.1f s, model R² = %.3f\n",
+		model.ETGPUSec, model.Model.RSquared)
+
+	res, dec, err := mgr.Run(app, model.ETGPUSec*0.5, params.ThresholdC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decision: %s at partition %s\n", dec.Map, dec.Part)
+	fmt.Printf("run: %.1f s, %.0f J, avg %.1f °C, peak %.1f °C (trip at %.0f °C), %d trips\n",
+		res.ExecTimeS, res.EnergyJ, res.AvgTempC, res.PeakTempC, plat.TripC, res.ThrottleEvents)
+
+	// Contrast with an unmanaged full-speed run on the same design point.
+	raw, err := teem.RunWarm(teem.SimConfig{
+		Platform: plat, Net: net, App: app,
+		Map: dec.Map, Part: dec.Part,
+		Governor: teem.NewPerformance(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("performance governor on the same design point: %.1f s, %.0f J, peak %.1f °C, %d trips\n",
+		raw.ExecTimeS, raw.EnergyJ, raw.PeakTempC, raw.ThrottleEvents)
+}

@@ -1,0 +1,98 @@
+// Designspace: sweep the paper's 10 368-point diverse design-point subset
+// (Eq. 2 restricted as in §III-A.1) for one application with the analytic
+// evaluator, extract the energy/performance Pareto front, and show where
+// TEEM's online decision lands relative to it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"teem"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	plat := teem.Exynos5422()
+	net := teem.Exynos5422Thermal()
+	app := teem.Covariance()
+
+	sp, err := teem.NewSpace(plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := teem.NewEvaluator(plat, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	subset := sp.DiverseSubset()
+	fmt.Printf("evaluating %d design points for %s...\n", len(subset), app.Name)
+	evals := make([]teem.PointEval, 0, len(subset))
+	for _, dp := range subset {
+		pe, err := ev.Evaluate(app, dp)
+		if err != nil {
+			continue // infeasible combination
+		}
+		evals = append(evals, pe)
+	}
+	fmt.Printf("%d feasible points\n\n", len(evals))
+
+	// Pareto front on (ET, EC): keep points not dominated by any other.
+	sort.Slice(evals, func(i, j int) bool {
+		if evals[i].ETS != evals[j].ETS {
+			return evals[i].ETS < evals[j].ETS
+		}
+		return evals[i].ECJ < evals[j].ECJ
+	})
+	var front []teem.PointEval
+	bestEC := 1e18
+	for _, e := range evals {
+		if e.ECJ < bestEC {
+			front = append(front, e)
+			bestEC = e.ECJ
+		}
+	}
+	fmt.Printf("Pareto front (%d points), fastest to most frugal:\n", len(front))
+	step := len(front)/12 + 1
+	for i := 0; i < len(front); i += step {
+		e := front[i]
+		fmt.Printf("  ET %6.1f s  EC %6.0f J  AT %5.1f °C  %s\n", e.ETS, e.ECJ, e.ATC, e.DP)
+	}
+
+	// Where does TEEM land? Profile and decide for a mid requirement.
+	mgr, err := teem.NewManager(plat, net, teem.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := mgr.Profile(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	treq := model.ETGPUSec / 2
+	res, dec, err := mgr.Run(app, treq, 85)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTEEM online decision for TREQ=%.1f s: %s %s\n", treq, dec.Map, dec.Part)
+	fmt.Printf("measured: ET %.1f s, EC %.0f J, avg %.1f °C\n", res.ExecTimeS, res.EnergyJ, res.AvgTempC)
+
+	// Distance to the front at TEEM's achieved ET.
+	bestAt := 1e18
+	for _, e := range front {
+		if e.ETS <= res.ExecTimeS && e.ECJ < bestAt {
+			bestAt = e.ECJ
+		}
+	}
+	if bestAt < 1e18 {
+		gap := 100 * (res.EnergyJ - bestAt) / bestAt
+		verdict := fmt.Sprintf("within %.1f%% of", gap)
+		if gap < 0 {
+			verdict = fmt.Sprintf("%.1f%% below", -gap)
+		}
+		fmt.Printf("analytic Pareto energy at that ET: %.0f J → TEEM lands %s the front\n", bestAt, verdict)
+		fmt.Println("(and unlike the front's hottest points, it also holds the 85 °C threshold)")
+	}
+}

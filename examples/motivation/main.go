@@ -1,0 +1,46 @@
+// Motivation: reproduce the paper's Fig. 1 — the Linux ondemand governor
+// bouncing off the 95 °C hardware trip versus TEEM holding the chip at the
+// 85 °C threshold, on COVARIANCE with an even CPU/GPU split (the paper's
+// "partition 1024").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teem"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	plat := teem.Exynos5422()
+	net := teem.Exynos5422Thermal()
+	app := teem.Covariance()
+	m := teem.Mapping{Big: 3, Little: 2, UseGPU: true} // the paper's 2L+3B
+	part := teem.Partition{Num: 4, Den: 8}             // 1024 of 2048
+
+	run := func(name string, gov teem.Governor) *teem.SimResult {
+		res, err := teem.RunWarm(teem.SimConfig{
+			Platform: plat, Net: net, App: app,
+			Map: m, Part: part, Governor: gov,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("\n=== %s ===\n", name)
+		fmt.Print(res.Trace.RenderTempAndFreq("A15", "A15", 72, 12))
+		fmt.Printf("ET %.1f s | %.0f J | avg %.1f °C | peak %.1f °C | %d trips\n",
+			res.ExecTimeS, res.EnergyJ, res.AvgTempC, res.PeakTempC, res.ThrottleEvents)
+		return res
+	}
+
+	od := run("Fig. 1(a): ondemand + hardware TMU", teem.NewOndemand())
+	te := run("Fig. 1(b): TEEM (85 °C threshold, 200 MHz steps, 1400 MHz floor)",
+		teem.NewController(teem.DefaultParams()))
+
+	fmt.Printf("\nTEEM vs ondemand: %.1f%% faster, %.1f%% less energy, %.1f °C cooler on average\n",
+		100*(od.ExecTimeS-te.ExecTimeS)/od.ExecTimeS,
+		100*(od.EnergyJ-te.EnergyJ)/od.EnergyJ,
+		od.AvgTempC-te.AvgTempC)
+}

@@ -1,0 +1,36 @@
+// Multiapp: the paper's Fig. 5 evaluation — EEMP, RMP and TEEM across the
+// eight Polybench applications at mapping 2L+4B, comparing energy,
+// temperature behaviour and execution time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teem"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	env, err := teem.NewExperiments()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig5, err := env.Fig5(teem.Mapping{Big: 4, Little: 2, UseGPU: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(fig5.RenderEnergy())
+	fmt.Println(fig5.RenderTemperature())
+	fmt.Println(fig5.RenderPerformance())
+
+	eE, eR := fig5.EnergySavings()
+	vE, vR := fig5.VarianceReductions()
+	pE, pR := fig5.PerformanceGains()
+	fmt.Println("summary (TEEM vs EEMP / RMP):")
+	fmt.Printf("  energy        %+.1f%% / %+.1f%%   (paper: -28.32%% / -13.97%%)\n", -100*eE, -100*eR)
+	fmt.Printf("  variance      %+.1f%% / %+.1f%%   (paper: -76%% / -45%%)\n", -100*vE, -100*vR)
+	fmt.Printf("  exec time     %+.1f%% / %+.1f%%   (paper: ~-28%% / ~-24%%)\n", -100*pE, -100*pR)
+}

@@ -1,0 +1,57 @@
+// Quickstart: profile an application offline, then run it under TEEM with
+// a performance and temperature requirement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teem"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Describe the hardware: the Odroid-XU4's Exynos 5422 and its
+	//    calibrated thermal network ship as presets.
+	plat := teem.Exynos5422()
+	net := teem.Exynos5422Thermal()
+
+	// 2. Build the TEEM manager with the paper's parameters
+	//    (85 °C threshold, 200 MHz steps, 1400 MHz floor).
+	mgr, err := teem.NewManager(plat, net, teem.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Offline phase: profile the application across CPU mappings and
+	//    fit the mapping model (Eq. 6). Only 32 bytes survive to runtime.
+	app := teem.Covariance()
+	model, err := mgr.Profile(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline phase: model stored in %d bytes, ETGPU = %.1f s\n",
+		model.StorageBytes(), model.ETGPUSec)
+
+	// 4. Online phase: state the requirement — finish within 35 s while
+	//    averaging at most 85 °C — and let TEEM pick mapping, partition
+	//    and regulate DVFS.
+	const (
+		treqS = 35.0
+		atC   = 85.0
+	)
+	res, dec, err := mgr.Run(app, treqS, atC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decision: mapping %s, partition %s (WGCPU = %.2f)\n",
+		dec.Map, dec.Part, dec.WGCPU)
+	fmt.Printf("run:      %.1f s, %.0f J, avg %.1f °C, peak %.1f °C, %d hardware trips\n",
+		res.ExecTimeS, res.EnergyJ, res.AvgTempC, res.PeakTempC, res.ThrottleEvents)
+	if res.ExecTimeS <= treqS {
+		fmt.Println("performance requirement met without thermal throttling")
+	} else {
+		fmt.Printf("requirement missed by %.1f s\n", res.ExecTimeS-treqS)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The runtime store is the §V.D artefact: per application, the three
+// model coefficients (Eq. 6) and the measured ETGPU. This file gives it a
+// durable form so offline profiling can run once (e.g. on a build server)
+// and ship to devices.
+
+// StoredModel is the serialisable runtime model of one application.
+type StoredModel struct {
+	// App is the Polybench application name.
+	App string `json:"app"`
+	// Intercept, ATSlope and ETSlope are the Eq. (6) coefficients of
+	// log10(M) = Intercept + ATSlope·AT + ETSlope·ET.
+	Intercept float64 `json:"intercept"`
+	ATSlope   float64 `json:"at_slope"`
+	ETSlope   float64 `json:"et_slope"`
+	// ETGPUSec is the stored GPU-only execution time (Eq. 9).
+	ETGPUSec float64 `json:"etgpu_sec"`
+}
+
+// Validate reports an error for unusable stored models.
+func (s *StoredModel) Validate() error {
+	if s.App == "" {
+		return errors.New("core: stored model has empty app name")
+	}
+	if s.ETGPUSec <= 0 {
+		return fmt.Errorf("core: stored model %s has non-positive ETGPU", s.App)
+	}
+	for _, v := range []float64{s.Intercept, s.ATSlope, s.ETSlope} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: stored model %s has non-finite coefficient", s.App)
+		}
+	}
+	return nil
+}
+
+// Store is the persistent set of runtime models.
+type Store struct {
+	// Platform names the platform the models were profiled on.
+	Platform string `json:"platform"`
+	// Models holds one entry per profiled application.
+	Models []StoredModel `json:"models"`
+}
+
+// Export extracts the runtime store from the manager's profiled models.
+func (mg *Manager) Export() (*Store, error) {
+	st := &Store{Platform: mg.plat.Name}
+	for name, am := range mg.models {
+		if am.Model == nil || len(am.Model.Coefficients) != 3 {
+			return nil, fmt.Errorf("core: app %s has no runtime model", name)
+		}
+		st.Models = append(st.Models, StoredModel{
+			App:       name,
+			Intercept: am.Model.Coefficients[0].Estimate,
+			ATSlope:   am.Model.Coefficients[1].Estimate,
+			ETSlope:   am.Model.Coefficients[2].Estimate,
+			ETGPUSec:  am.ETGPUSec,
+		})
+	}
+	return st, nil
+}
+
+// Save writes the store as JSON.
+func (s *Store) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// LoadStore reads a store from JSON and validates it.
+func LoadStore(r io.Reader) (*Store, error) {
+	var s Store
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding store: %w", err)
+	}
+	seen := map[string]bool{}
+	for i := range s.Models {
+		if err := s.Models[i].Validate(); err != nil {
+			return nil, err
+		}
+		if seen[s.Models[i].App] {
+			return nil, fmt.Errorf("core: duplicate stored model %s", s.Models[i].App)
+		}
+		seen[s.Models[i].App] = true
+	}
+	return &s, nil
+}
+
+// Import installs stored runtime models into the manager. Imported models
+// can Decide and Run but carry no profiling artefacts (FullModel, Dataset
+// are nil — those are offline-only).
+func (mg *Manager) Import(s *Store) error {
+	if s.Platform != "" && s.Platform != mg.plat.Name {
+		return fmt.Errorf("core: store was profiled on %s, manager drives %s", s.Platform, mg.plat.Name)
+	}
+	for _, sm := range s.Models {
+		if err := sm.Validate(); err != nil {
+			return err
+		}
+		mg.models[sm.App] = &AppModel{
+			AppName:    sm.App,
+			ETGPUSec:   sm.ETGPUSec,
+			DroppedRow: -1,
+			runtime:    &runtimeCoeffs{intercept: sm.Intercept, at: sm.ATSlope, et: sm.ETSlope},
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"teem/internal/soc"
+	"teem/internal/thermal"
+	"teem/internal/workload"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	mg := newManager(t)
+	app := workload.Covariance()
+	am, err := mg.Profile(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := mg.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Models) != 1 || st.Models[0].App != "COVARIANCE" {
+		t.Fatalf("export = %+v", st)
+	}
+	if st.Platform != "Exynos5422" {
+		t.Errorf("platform = %q", st.Platform)
+	}
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "etgpu_sec") {
+		t.Error("JSON missing expected fields")
+	}
+
+	loaded, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh manager with only the imported store must make the same
+	// online decisions as the profiling manager.
+	mg2, err := NewManager(soc.Exynos5422(), thermal.Exynos5422Network(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg2.Import(loaded); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := mg.Decide("COVARIANCE", am.ETGPUSec/2, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := mg2.Decide("COVARIANCE", am.ETGPUSec/2, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Map != d2.Map || d1.Part != d2.Part {
+		t.Errorf("imported decision %v/%v != original %v/%v", d2.Map, d2.Part, d1.Map, d1.Part)
+	}
+	if math.Abs(d1.PredictedM-d2.PredictedM) > 1e-9 {
+		t.Errorf("predicted M differs: %g vs %g", d1.PredictedM, d2.PredictedM)
+	}
+}
+
+func TestLoadStoreRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`{"models":[{"app":"","etgpu_sec":10}]}`,
+		`{"models":[{"app":"X","etgpu_sec":0}]}`,
+		`{"models":[{"app":"X","etgpu_sec":10},{"app":"X","etgpu_sec":12}]}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadStore(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: accepted invalid store", i)
+		}
+	}
+}
+
+func TestImportRejectsWrongPlatform(t *testing.T) {
+	mg := newManager(t)
+	st := &Store{Platform: "OtherSoC", Models: []StoredModel{
+		{App: "X", Intercept: 1, ETGPUSec: 10},
+	}}
+	if err := mg.Import(st); err == nil {
+		t.Error("Import should reject mismatched platform")
+	}
+}
+
+func TestImportRejectsInvalidModels(t *testing.T) {
+	mg := newManager(t)
+	st := &Store{Models: []StoredModel{{App: "X", Intercept: math.NaN(), ETGPUSec: 10}}}
+	if err := mg.Import(st); err == nil {
+		t.Error("Import should reject NaN coefficients")
+	}
+}
+
+func TestExportWithoutProfilesIsEmpty(t *testing.T) {
+	mg := newManager(t)
+	st, err := mg.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Models) != 0 {
+		t.Errorf("fresh manager exported %d models", len(st.Models))
+	}
+}
+
+func TestImportedModelRunsOnline(t *testing.T) {
+	mg := newManager(t)
+	app := workload.Covariance()
+	if _, err := mg.Profile(app); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := mg.Export()
+
+	mg2, err := NewManager(soc.Exynos5422(), thermal.Exynos5422Network(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg2.Import(st); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := mg2.Run(app, st.Models[0].ETGPUSec/2, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.ThrottleEvents != 0 {
+		t.Errorf("imported-model run: completed=%v trips=%d", res.Completed, res.ThrottleEvents)
+	}
+}

@@ -1,0 +1,549 @@
+// Package experiments regenerates every table and figure of the TEEM
+// paper's evaluation on the simulated Exynos 5422:
+//
+//	Fig. 1   — motivation: ondemand+TMU vs TEEM on COVARIANCE (2L+3B,
+//	           partition 1024/2048): traces and summary metrics
+//	Fig. 3   — matrix scatterplot of the profiling dataset
+//	Table I  — full regression model M ~ AT+ET+PT+EC
+//	Table II — transformed model log10(M) ~ AT+ET
+//	Fig. 4   — residuals-vs-fitted of the transformed model
+//	Fig. 5   — energy (a), temperature (b), execution time (c) of
+//	           EEMP/RMP/TEEM across the eight Polybench apps at 2L+4B
+//	§V.D     — memory-footprint comparison (128 items vs 2)
+//
+// plus the ablations DESIGN.md calls out (threshold, δ and floor sweeps).
+// Results are cached inside an Env so chained experiments don't repeat
+// expensive simulation work.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"teem/internal/baseline"
+	"teem/internal/core"
+	"teem/internal/governor"
+	"teem/internal/mapping"
+	"teem/internal/report"
+	"teem/internal/sim"
+	"teem/internal/soc"
+	"teem/internal/thermal"
+	"teem/internal/workload"
+)
+
+// Env is a shared, lazily evaluated experiment environment.
+type Env struct {
+	Plat   *soc.Platform
+	Net    *thermal.Network
+	Params core.Params
+
+	mgr      *core.Manager
+	profiles map[string]*core.AppModel
+	fig5     map[string]*Fig5Result // keyed by mapping string
+}
+
+// NewEnv builds the default environment (Exynos 5422, paper parameters).
+func NewEnv() (*Env, error) {
+	plat := soc.Exynos5422()
+	net := thermal.Exynos5422Network()
+	params := core.DefaultParams()
+	mgr, err := core.NewManager(plat, net, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Plat:     plat,
+		Net:      net,
+		Params:   params,
+		mgr:      mgr,
+		profiles: map[string]*core.AppModel{},
+		fig5:     map[string]*Fig5Result{},
+	}, nil
+}
+
+// Manager exposes the TEEM manager (profiled apps accumulate in it).
+func (e *Env) Manager() *core.Manager { return e.mgr }
+
+// profileApp profiles an app once and caches the model.
+func (e *Env) profileApp(app *workload.App) (*core.AppModel, error) {
+	if am, ok := e.profiles[app.Name]; ok {
+		return am, nil
+	}
+	am, err := e.mgr.Profile(app)
+	if err != nil {
+		return nil, err
+	}
+	e.profiles[app.Name] = am
+	return am, nil
+}
+
+// TreqFor is the evaluation's performance requirement policy: 15% slack
+// over the ideal balanced split at maximum frequency. For COVARIANCE this
+// lands on the paper's "partition 1024" even split through Eq. (9).
+func TreqFor(app *workload.App, m mapping.Mapping) float64 {
+	etCPU := app.ETCPUOnly(m.Big, m.Little, 2000, 1400)
+	etGPU := app.ETGPUOnly(6, 600)
+	if etCPU == 0 {
+		return etGPU
+	}
+	return 1.15 * etCPU * etGPU / (etCPU + etGPU)
+}
+
+// --- Fig. 1 -----------------------------------------------------------------
+
+// Fig1Result holds the motivation comparison.
+type Fig1Result struct {
+	// Ondemand is the "existing approach" run (Fig. 1a); TEEM the
+	// proposed run (Fig. 1b).
+	Ondemand, TEEM *sim.Result
+}
+
+// Fig1 reproduces the motivational case study: COVARIANCE on 2L+3B with
+// partition 1024 of 2048, ondemand+TMU against the TEEM controller.
+func (e *Env) Fig1() (*Fig1Result, error) {
+	m := mapping.Mapping{Big: 3, Little: 2, UseGPU: true}
+	part := mapping.Partition{Num: 4, Den: 8}
+	app := workload.Covariance()
+
+	od, err := sim.RunWarm(sim.Config{
+		Platform: e.Plat, Net: e.Net, App: app,
+		Map: m, Part: part,
+		Governor: governor.NewOndemand(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 ondemand: %w", err)
+	}
+	te, err := sim.RunWarm(sim.Config{
+		Platform: e.Plat, Net: e.Net, App: app,
+		Map: m, Part: part,
+		Governor: core.NewController(e.Params),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 teem: %w", err)
+	}
+	return &Fig1Result{Ondemand: od, TEEM: te}, nil
+}
+
+// Render returns the Fig. 1 style charts and summary.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 1(a) — existing approach (ondemand + TMU)\n")
+	b.WriteString(r.Ondemand.Trace.RenderTempAndFreq("A15", "A15", 72, 12))
+	b.WriteString("\nFig. 1(b) — proposed TEEM\n")
+	b.WriteString(r.TEEM.Trace.RenderTempAndFreq("A15", "A15", 72, 12))
+
+	t := &report.Table{
+		Title:   "Fig. 1 summary (paper: ondemand 48 s / 530 J / 93.7 °C avg / 96 °C peak; TEEM 39.6 s / 413 J / 85.8 °C avg / 90 °C peak)",
+		Headers: []string{"approach", "ET (s)", "energy (J)", "avg T (°C)", "peak T (°C)", "T variance", "trips", "thermal cycles ≥3°C"},
+	}
+	row := func(name string, res *sim.Result) {
+		big := res.Trace.NodeIndex("A15")
+		t.AddRow(name,
+			fmt.Sprintf("%.1f", res.ExecTimeS),
+			fmt.Sprintf("%.0f", res.EnergyJ),
+			fmt.Sprintf("%.1f", res.AvgTempC),
+			fmt.Sprintf("%.1f", res.PeakTempC),
+			fmt.Sprintf("%.2f", res.TempVarC2),
+			fmt.Sprintf("%d", res.ThrottleEvents),
+			fmt.Sprintf("%d", res.Trace.CycleCount(big, 3)))
+	}
+	row("ondemand", r.Ondemand)
+	row("TEEM", r.TEEM)
+	b.WriteString("\n")
+	b.WriteString(t.Render())
+	fmt.Fprintf(&b, "\nTEEM vs ondemand: ET %s, energy %s, avg temp %+.1f °C, peak %+.1f °C\n",
+		report.Pct(-report.Improvement(r.Ondemand.ExecTimeS, r.TEEM.ExecTimeS)),
+		report.Pct(-report.Improvement(r.Ondemand.EnergyJ, r.TEEM.EnergyJ)),
+		r.TEEM.AvgTempC-r.Ondemand.AvgTempC,
+		r.TEEM.PeakTempC-r.Ondemand.PeakTempC)
+	return b.String()
+}
+
+// --- Fig. 3 / Tables I & II / Fig. 4 -----------------------------------------
+
+// ModelResult bundles the offline-modelling artefacts for one app.
+type ModelResult struct {
+	App   *workload.App
+	Model *core.AppModel
+}
+
+// ProfileApp runs the offline phase for the named app (default of the
+// paper's modelling figures: COVARIANCE).
+func (e *Env) ProfileApp(name string) (*ModelResult, error) {
+	app, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	am, err := e.profileApp(app)
+	if err != nil {
+		return nil, err
+	}
+	return &ModelResult{App: app, Model: am}, nil
+}
+
+// Fig3 renders the matrix scatterplot of the profiling dataset.
+func (m *ModelResult) Fig3() string {
+	ds := m.Model.Dataset
+	names := append([]string{ds.ResponseName}, ds.PredictorNames...)
+	cols := append([][]float64{ds.Response}, ds.Predictors...)
+	sm := &report.ScatterMatrix{Names: names, Cols: cols}
+	return fmt.Sprintf("Fig. 3 — matrix scatterplot of response and predictor variables (%s)\n%s",
+		m.App.Name, sm.Render())
+}
+
+// TableI renders the full-model R summary.
+func (m *ModelResult) TableI() string {
+	return fmt.Sprintf("Table I — fitting the model with all the predictor variables (%s)\n%s",
+		m.App.Name, m.Model.FullModel.Summary())
+}
+
+// TableII renders the transformed-model R summary.
+func (m *ModelResult) TableII() string {
+	return fmt.Sprintf("Table II — the transformed model (%s, outlier row %d dropped)\n%s",
+		m.App.Name, m.Model.DroppedRow, m.Model.Model.Summary())
+}
+
+// Fig4 renders the residuals-vs-fitted plot of the transformed model.
+func (m *ModelResult) Fig4() string {
+	return "Fig. 4 — residual plot for the transformed model\n" +
+		report.ResidualPlot(m.Model.Model.Fitted, m.Model.Model.Residuals, 60, 14)
+}
+
+// --- Fig. 5 -----------------------------------------------------------------
+
+// ApproachMetrics are the per-run evaluation metrics.
+type ApproachMetrics struct {
+	ETS, ECJ, AvgTC, PeakTC, VarC2, GradCps float64
+	DP                                      mapping.DesignPoint
+}
+
+func metricsOf(res *sim.Result, dp mapping.DesignPoint) ApproachMetrics {
+	return ApproachMetrics{
+		ETS: res.ExecTimeS, ECJ: res.EnergyJ,
+		AvgTC: res.AvgTempC, PeakTC: res.PeakTempC,
+		VarC2: res.TempVarC2, GradCps: res.TempGradCps,
+		DP: dp,
+	}
+}
+
+// Fig5Row is one application's comparison.
+type Fig5Row struct {
+	App  *workload.App
+	EEMP ApproachMetrics
+	RMP  ApproachMetrics
+	TEEM ApproachMetrics
+}
+
+// Fig5Result is the full three-approach comparison at one CPU mapping.
+type Fig5Result struct {
+	Mapping mapping.Mapping
+	Rows    []Fig5Row
+}
+
+// Fig5 runs (or returns cached) the Fig. 5 evaluation at the given CPU
+// mapping; the paper's headline numbers use 2L+4B.
+func (e *Env) Fig5(m mapping.Mapping) (*Fig5Result, error) {
+	key := m.String()
+	if r, ok := e.fig5[key]; ok {
+		return r, nil
+	}
+	eemp, err := baseline.NewEEMP(e.Plat, e.Net, m)
+	if err != nil {
+		return nil, err
+	}
+	rmp, err := baseline.NewRMP(e.Plat, e.Net, m)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig5Result{Mapping: m}
+	for _, app := range workload.Apps() {
+		treq := TreqFor(app, m)
+
+		eres, edp, err := eemp.Run(app, treq)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig5 EEMP %s: %w", app.Name, err)
+		}
+		rres, rdp, err := rmp.Run(app)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig5 RMP %s: %w", app.Name, err)
+		}
+		if _, err := e.profileApp(app); err != nil {
+			return nil, err
+		}
+		part, err := e.mgr.DecidePartition(app.Name, treq)
+		if err != nil {
+			return nil, err
+		}
+		tm := m
+		tm.UseGPU = part.Num < part.Den
+		tres, err := e.mgr.RunAt(app, tm, part)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig5 TEEM %s: %w", app.Name, err)
+		}
+		out.Rows = append(out.Rows, Fig5Row{
+			App:  app,
+			EEMP: metricsOf(eres, edp),
+			RMP:  metricsOf(rres, rdp),
+			TEEM: metricsOf(tres, mapping.DesignPoint{Map: tm, Part: part}),
+		})
+	}
+	e.fig5[key] = out
+	return out, nil
+}
+
+// avg reduces a metric over the rows.
+func (r *Fig5Result) avg(get func(Fig5Row) (float64, float64, float64)) (eemp, rmp, teem float64) {
+	n := float64(len(r.Rows))
+	if n == 0 {
+		return 0, 0, 0
+	}
+	for _, row := range r.Rows {
+		a, b, c := get(row)
+		eemp += a
+		rmp += b
+		teem += c
+	}
+	return eemp / n, rmp / n, teem / n
+}
+
+// EnergySavings returns TEEM's average fractional energy saving vs EEMP
+// and RMP (paper: 28.32% and 13.97%).
+func (r *Fig5Result) EnergySavings() (vsEEMP, vsRMP float64) {
+	e, m, t := r.avg(func(x Fig5Row) (float64, float64, float64) { return x.EEMP.ECJ, x.RMP.ECJ, x.TEEM.ECJ })
+	return report.Improvement(e, t), report.Improvement(m, t)
+}
+
+// VarianceReductions returns TEEM's average thermal-variance reduction vs
+// EEMP and RMP (paper: 76% and 45% at 2L+4B; 84% and 64% at 2L+3B).
+func (r *Fig5Result) VarianceReductions() (vsEEMP, vsRMP float64) {
+	e, m, t := r.avg(func(x Fig5Row) (float64, float64, float64) { return x.EEMP.VarC2, x.RMP.VarC2, x.TEEM.VarC2 })
+	return report.Improvement(e, t), report.Improvement(m, t)
+}
+
+// PerformanceGains returns TEEM's average execution-time improvement vs
+// EEMP and RMP (paper: ~28% and ~24%).
+func (r *Fig5Result) PerformanceGains() (vsEEMP, vsRMP float64) {
+	e, m, t := r.avg(func(x Fig5Row) (float64, float64, float64) { return x.EEMP.ETS, x.RMP.ETS, x.TEEM.ETS })
+	return report.Improvement(e, t), report.Improvement(m, t)
+}
+
+func (r *Fig5Result) chart(title, unit string, get func(Fig5Row) (float64, float64, float64)) string {
+	c := &report.BarChart{
+		Title:  title,
+		Unit:   unit,
+		Series: []string{"EEMP", "RMP", "TEEM"},
+	}
+	for _, row := range r.Rows {
+		a, b, v := get(row)
+		c.Groups = append(c.Groups, report.BarGroup{Label: row.App.Short, Values: []float64{a, b, v}})
+	}
+	return c.Render()
+}
+
+// RenderEnergy is Fig. 5(a).
+func (r *Fig5Result) RenderEnergy() string {
+	s := r.chart(fmt.Sprintf("Fig. 5(a) — energy consumption, mapping %s", r.Mapping), "J",
+		func(x Fig5Row) (float64, float64, float64) { return x.EEMP.ECJ, x.RMP.ECJ, x.TEEM.ECJ })
+	e, m := r.EnergySavings()
+	return s + fmt.Sprintf("TEEM average energy saving: %s vs EEMP, %s vs RMP (paper: 28.32%% / 13.97%%)\n",
+		report.Pct(e), report.Pct(m))
+}
+
+// RenderTemperature is Fig. 5(b).
+func (r *Fig5Result) RenderTemperature() string {
+	s := r.chart(fmt.Sprintf("Fig. 5(b) — average temperature, mapping %s", r.Mapping), "°C",
+		func(x Fig5Row) (float64, float64, float64) { return x.EEMP.AvgTC, x.RMP.AvgTC, x.TEEM.AvgTC })
+	e, m := r.VarianceReductions()
+	return s + fmt.Sprintf("TEEM thermal-variance reduction: %s vs EEMP, %s vs RMP (paper: 76%% / 45%% at 2L+4B)\n",
+		report.Pct(e), report.Pct(m))
+}
+
+// RenderPerformance is Fig. 5(c).
+func (r *Fig5Result) RenderPerformance() string {
+	s := r.chart(fmt.Sprintf("Fig. 5(c) — execution time, mapping %s", r.Mapping), "s",
+		func(x Fig5Row) (float64, float64, float64) { return x.EEMP.ETS, x.RMP.ETS, x.TEEM.ETS })
+	e, m := r.PerformanceGains()
+	return s + fmt.Sprintf("TEEM average performance improvement: %s vs EEMP, %s vs RMP (paper: ~28%% / ~24%%)\n",
+		report.Pct(e), report.Pct(m))
+}
+
+// --- §V.D memory ------------------------------------------------------------
+
+// MemoryResult is the §V.D storage comparison.
+type MemoryResult struct {
+	EEMPItems, TEEMItems int
+	EEMPBytes, TEEMBytes int
+	ByteSaving           float64
+	ItemSaving           float64
+}
+
+// Memory computes the §V.D memory-optimisation comparison.
+func (e *Env) Memory() MemoryResult {
+	return MemoryResult{
+		EEMPItems:  mapping.EEMPStoredItems(),
+		TEEMItems:  mapping.TEEMStoredItems(),
+		EEMPBytes:  mapping.EEMPStorageBytes(),
+		TEEMBytes:  mapping.TEEMStorageBytes(),
+		ByteSaving: mapping.MemorySavingFraction(),
+		ItemSaving: mapping.ItemSavingFraction(),
+	}
+}
+
+// Render returns the §V.D comparison table.
+func (m MemoryResult) Render() string {
+	t := &report.Table{
+		Title:   "§V.D — per-application storage: table-based (EEMP) vs model-based (TEEM)",
+		Headers: []string{"store", "items", "bytes"},
+	}
+	t.AddRow("EEMP design-point table", fmt.Sprintf("%d", m.EEMPItems), fmt.Sprintf("%d", m.EEMPBytes))
+	t.AddRow("TEEM model + ETGPU", fmt.Sprintf("%d", m.TEEMItems), fmt.Sprintf("%d", m.TEEMBytes))
+	return t.Render() + fmt.Sprintf("memory saving: %.1f%% bytes, %.1f%% items (paper: 98.8%%, abstract: >90%%)\n",
+		100*m.ByteSaving, 100*m.ItemSaving)
+}
+
+// --- ablations ----------------------------------------------------------------
+
+// SweepPoint is one ablation sample.
+type SweepPoint struct {
+	Value                   float64
+	ETS, ECJ, AvgTC, PeakTC float64
+	VarC2                   float64
+	Transitions             int
+}
+
+// runTEEMWith runs COVARIANCE (2L+4B, CPU-bound partition 5/8 so the
+// regulated cluster is the execution-time pole) under modified controller
+// parameters.
+func (e *Env) runTEEMWith(p core.Params) (*sim.Result, error) {
+	app := workload.Covariance()
+	m := mapping.Mapping{Big: 4, Little: 2, UseGPU: true}
+	return sim.RunWarm(sim.Config{
+		Platform: e.Plat, Net: e.Net, App: app,
+		Map: m, Part: mapping.Partition{Num: 5, Den: 8},
+		Governor: core.NewController(p),
+	})
+}
+
+// ThresholdSweep ablates the software threshold (the paper motivates
+// 85 °C: higher thresholds cause frequent frequency changes, lower ones
+// give up performance).
+func (e *Env) ThresholdSweep(thresholds []float64) ([]SweepPoint, error) {
+	if len(thresholds) == 0 {
+		return nil, errors.New("experiments: empty threshold sweep")
+	}
+	var out []SweepPoint
+	for _, th := range thresholds {
+		p := e.Params
+		p.ThresholdC = th
+		res, err := e.runTEEMWith(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			Value: th, ETS: res.ExecTimeS, ECJ: res.EnergyJ,
+			AvgTC: res.AvgTempC, PeakTC: res.PeakTempC, VarC2: res.TempVarC2,
+			Transitions: res.FreqTransitions,
+		})
+	}
+	return out, nil
+}
+
+// DeltaSweep ablates the step-down δ (paper: 200 MHz).
+func (e *Env) DeltaSweep(deltasMHz []int) ([]SweepPoint, error) {
+	if len(deltasMHz) == 0 {
+		return nil, errors.New("experiments: empty delta sweep")
+	}
+	var out []SweepPoint
+	for _, d := range deltasMHz {
+		p := e.Params
+		p.DeltaMHz = d
+		res, err := e.runTEEMWith(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			Value: float64(d), ETS: res.ExecTimeS, ECJ: res.EnergyJ,
+			AvgTC: res.AvgTempC, PeakTC: res.PeakTempC, VarC2: res.TempVarC2,
+			Transitions: res.FreqTransitions,
+		})
+	}
+	return out, nil
+}
+
+// FloorSweep ablates the frequency floor (paper: 1400 MHz).
+func (e *Env) FloorSweep(floorsMHz []int) ([]SweepPoint, error) {
+	if len(floorsMHz) == 0 {
+		return nil, errors.New("experiments: empty floor sweep")
+	}
+	var out []SweepPoint
+	for _, f := range floorsMHz {
+		p := e.Params
+		p.FloorMHz = f
+		res, err := e.runTEEMWith(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			Value: float64(f), ETS: res.ExecTimeS, ECJ: res.EnergyJ,
+			AvgTC: res.AvgTempC, PeakTC: res.PeakTempC, VarC2: res.TempVarC2,
+			Transitions: res.FreqTransitions,
+		})
+	}
+	return out, nil
+}
+
+// RenderSweep formats an ablation table.
+func RenderSweep(title, valueName string, pts []SweepPoint) string {
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{valueName, "ET (s)", "energy (J)", "avg T", "peak T", "variance", "DVFS transitions"},
+	}
+	for _, p := range pts {
+		t.AddRow(
+			fmt.Sprintf("%g", p.Value),
+			fmt.Sprintf("%.1f", p.ETS),
+			fmt.Sprintf("%.0f", p.ECJ),
+			fmt.Sprintf("%.1f", p.AvgTC),
+			fmt.Sprintf("%.1f", p.PeakTC),
+			fmt.Sprintf("%.2f", p.VarC2),
+			fmt.Sprintf("%d", p.Transitions),
+		)
+	}
+	return t.Render()
+}
+
+// Eq12Result carries the design-space counts of Eqs. (1)–(2).
+type Eq12Result struct {
+	CPUMappings     int
+	MaxDesignPoints int
+	TotalWithGrains int
+	DiverseSubset   int
+}
+
+// DesignSpace evaluates the paper's design-space counts on the platform.
+func (e *Env) DesignSpace() (Eq12Result, error) {
+	sp, err := mapping.NewSpace(e.Plat)
+	if err != nil {
+		return Eq12Result{}, err
+	}
+	return Eq12Result{
+		CPUMappings:     sp.CountCPUMappings(),
+		MaxDesignPoints: sp.MaxDesignPoints(),
+		TotalWithGrains: sp.TotalDesignPoints(),
+		DiverseSubset:   len(sp.DiverseSubset()),
+	}, nil
+}
+
+// Render returns the design-space table.
+func (r Eq12Result) Render() string {
+	t := &report.Table{
+		Title:   "Design space (paper: Eq. 1 → 24 CPU mappings; Eq. 2 → 28 560; ×9 partitions → 257 040; profiled subset 10 368)",
+		Headers: []string{"quantity", "count"},
+	}
+	t.AddRow("Eq. (1) CPU mappings", fmt.Sprintf("%d", r.CPUMappings))
+	t.AddRow("Eq. (2) max design points", fmt.Sprintf("%d", r.MaxDesignPoints))
+	t.AddRow("× 9 partition grains", fmt.Sprintf("%d", r.TotalWithGrains))
+	t.AddRow("diverse profiled subset", fmt.Sprintf("%d", r.DiverseSubset))
+	return t.Render()
+}

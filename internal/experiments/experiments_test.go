@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"teem/internal/mapping"
+	"teem/internal/workload"
+)
+
+// The Fig. 5 evaluation is by far the most expensive test in the module
+// (≈ 50 warm simulations); share one Env across tests.
+func sharedEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce(t)
+	return envShared
+}
+
+var envShared *Env
+
+func envOnce(t *testing.T) {
+	if envShared != nil {
+		return
+	}
+	e, err := NewEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	envShared = e
+}
+
+var fig5Mapping = mapping.Mapping{Big: 4, Little: 2, UseGPU: true}
+
+func TestFig1Shapes(t *testing.T) {
+	e := sharedEnv(t)
+	r, err := e.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, te := r.Ondemand, r.TEEM
+
+	// The five Fig. 1 claims, directionally:
+	if te.ExecTimeS >= od.ExecTimeS {
+		t.Errorf("TEEM ET %.1f should beat ondemand %.1f", te.ExecTimeS, od.ExecTimeS)
+	}
+	if te.EnergyJ >= od.EnergyJ {
+		t.Errorf("TEEM energy %.0f should beat ondemand %.0f", te.EnergyJ, od.EnergyJ)
+	}
+	if te.AvgTempC >= od.AvgTempC-3 {
+		t.Errorf("TEEM avg temp %.1f should sit well below ondemand %.1f", te.AvgTempC, od.AvgTempC)
+	}
+	if te.PeakTempC >= od.PeakTempC-3 {
+		t.Errorf("TEEM peak %.1f should sit well below ondemand %.1f", te.PeakTempC, od.PeakTempC)
+	}
+	if te.TempVarC2 >= od.TempVarC2 {
+		t.Errorf("TEEM variance %.2f should beat ondemand %.2f", te.TempVarC2, od.TempVarC2)
+	}
+	// Regulation bands: TEEM near the 85 °C threshold, ondemand near
+	// the 95 °C trip.
+	if math.Abs(te.AvgTempC-85.8) > 3 {
+		t.Errorf("TEEM avg %.1f far from paper's 85.8", te.AvgTempC)
+	}
+	if math.Abs(od.AvgTempC-93.7) > 4 {
+		t.Errorf("ondemand avg %.1f far from paper's 93.7", od.AvgTempC)
+	}
+	if od.ThrottleEvents == 0 {
+		t.Error("ondemand should trip the TMU")
+	}
+	if te.ThrottleEvents != 0 {
+		t.Error("TEEM should never trip the TMU")
+	}
+
+	out := r.Render()
+	for _, want := range []string{"Fig. 1(a)", "Fig. 1(b)", "ondemand", "TEEM", "Temperature A15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestModelTablesAndFigures(t *testing.T) {
+	e := sharedEnv(t)
+	m, err := e.ProfileApp("COVARIANCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table I: 4 predictors, 12 residual DF (17 observations).
+	if m.Model.FullModel.DFModel != 4 || m.Model.FullModel.DFResidual != 12 {
+		t.Errorf("Table I df = (%d,%d)", m.Model.FullModel.DFModel, m.Model.FullModel.DFResidual)
+	}
+	// Table II: 2 predictors, 13 residual DF (16 observations).
+	if m.Model.Model.DFModel != 2 || m.Model.Model.DFResidual != 13 {
+		t.Errorf("Table II df = (%d,%d)", m.Model.Model.DFModel, m.Model.Model.DFResidual)
+	}
+	// Renders contain the R summary structure.
+	if s := m.TableI(); !strings.Contains(s, "Multiple R-squared") {
+		t.Error("Table I render incomplete")
+	}
+	if s := m.TableII(); !strings.Contains(s, "F-statistic") {
+		t.Error("Table II render incomplete")
+	}
+	if s := m.Fig3(); !strings.Contains(s, "scatterplot") || !strings.Contains(s, "*") {
+		t.Error("Fig. 3 render incomplete")
+	}
+	if s := m.Fig4(); !strings.Contains(s, "Residuals vs Fitted") {
+		t.Error("Fig. 4 render incomplete")
+	}
+	// Unknown app errors.
+	if _, err := e.ProfileApp("nope"); err == nil {
+		t.Error("ProfileApp should reject unknown names")
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	e := sharedEnv(t)
+	r, err := e.Fig5(fig5Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("Fig. 5 has %d rows, want 8", len(r.Rows))
+	}
+
+	// Headline averages, directionally (paper: −28.32% / −13.97%
+	// energy; 76% / 45% variance; ~28% / ~24% performance).
+	eE, eR := r.EnergySavings()
+	if eE <= 0.05 {
+		t.Errorf("TEEM vs EEMP energy saving %.1f%%, want > 5%%", 100*eE)
+	}
+	if eR <= 0 {
+		t.Errorf("TEEM vs RMP energy saving %.1f%%, want > 0", 100*eR)
+	}
+	vE, vR := r.VarianceReductions()
+	if vE <= 0.3 {
+		t.Errorf("TEEM vs EEMP variance reduction %.1f%%, want > 30%%", 100*vE)
+	}
+	if vR <= 0 {
+		t.Errorf("TEEM vs RMP variance reduction %.1f%%, want > 0", 100*vR)
+	}
+	pE, pR := r.PerformanceGains()
+	if pE <= 0.03 || pR <= 0.03 {
+		t.Errorf("TEEM performance gains %.1f%%/%.1f%%, want > 3%%", 100*pE, 100*pR)
+	}
+
+	// Per-app paper claims.
+	byShort := map[string]Fig5Row{}
+	for _, row := range r.Rows {
+		byShort[row.App.Short] = row
+	}
+	// RMP wins energy on the GPU-only apps (TEEM overhead, paper:
+	// +18.81% on 2D, +30.36% on GM).
+	for _, code := range []string{"2D", "GM"} {
+		row := byShort[code]
+		if row.TEEM.ECJ <= row.RMP.ECJ {
+			t.Errorf("%s: TEEM energy %.0f should exceed GPU-only RMP %.0f", code, row.TEEM.ECJ, row.RMP.ECJ)
+		}
+		if row.RMP.DP.Part.Num != 0 {
+			t.Errorf("%s: RMP should be GPU-only", code)
+		}
+	}
+	// SYRK: TEEM saves energy against RMP's split (paper: 47.28%).
+	sr := byShort["SR"]
+	if sr.TEEM.ECJ >= sr.RMP.ECJ {
+		t.Errorf("SR: TEEM energy %.0f should beat RMP %.0f", sr.TEEM.ECJ, sr.RMP.ECJ)
+	}
+	// TEEM keeps peak temperature within the threshold band on every
+	// app while EEMP reaches the trip on the split apps.
+	for _, row := range r.Rows {
+		if row.TEEM.PeakTC > 92 {
+			t.Errorf("%s: TEEM peak %.1f exceeds the regulation band", row.App.Short, row.TEEM.PeakTC)
+		}
+	}
+
+	// Renders.
+	if s := r.RenderEnergy(); !strings.Contains(s, "Fig. 5(a)") || !strings.Contains(s, "EEMP") {
+		t.Error("Fig. 5(a) render incomplete")
+	}
+	if s := r.RenderTemperature(); !strings.Contains(s, "Fig. 5(b)") {
+		t.Error("Fig. 5(b) render incomplete")
+	}
+	if s := r.RenderPerformance(); !strings.Contains(s, "Fig. 5(c)") {
+		t.Error("Fig. 5(c) render incomplete")
+	}
+
+	// Cache: second call returns the same pointer.
+	r2, _ := e.Fig5(fig5Mapping)
+	if r2 != r {
+		t.Error("Fig5 should cache results")
+	}
+}
+
+func TestMemoryResult(t *testing.T) {
+	e := sharedEnv(t)
+	m := e.Memory()
+	if m.EEMPItems != 128 || m.TEEMItems != 2 {
+		t.Errorf("items %d vs %d, want 128 vs 2", m.EEMPItems, m.TEEMItems)
+	}
+	if m.ByteSaving < 0.9 {
+		t.Errorf("byte saving %.3f, want > 0.9 (abstract: >90%%)", m.ByteSaving)
+	}
+	if math.Abs(m.ByteSaving-0.9875) > 0.002 {
+		t.Errorf("byte saving %.4f, want ≈0.9875 (paper rounds to 98.8%%)", m.ByteSaving)
+	}
+	if !strings.Contains(m.Render(), "98.8") {
+		t.Error("memory render should cite the paper number")
+	}
+}
+
+func TestDesignSpaceCounts(t *testing.T) {
+	e := sharedEnv(t)
+	r, err := e.DesignSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CPUMappings != 24 || r.MaxDesignPoints != 28560 ||
+		r.TotalWithGrains != 257040 || r.DiverseSubset != 10368 {
+		t.Errorf("design space = %+v", r)
+	}
+	if !strings.Contains(r.Render(), "28560") {
+		t.Error("design-space render incomplete")
+	}
+}
+
+func TestThresholdSweepShape(t *testing.T) {
+	e := sharedEnv(t)
+	pts, err := e.ThresholdSweep([]float64{80, 85, 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Higher thresholds run hotter.
+	if !(pts[0].AvgTC < pts[1].AvgTC && pts[1].AvgTC < pts[2].AvgTC) {
+		t.Errorf("avg temp not increasing with threshold: %.1f %.1f %.1f",
+			pts[0].AvgTC, pts[1].AvgTC, pts[2].AvgTC)
+	}
+	// A low threshold gives up performance (the paper's motivation for
+	// 85 °C).
+	if pts[0].ETS <= pts[1].ETS {
+		t.Errorf("80 °C threshold ET %.1f should exceed 85 °C ET %.1f", pts[0].ETS, pts[1].ETS)
+	}
+	if _, err := e.ThresholdSweep(nil); err == nil {
+		t.Error("empty sweep should error")
+	}
+	if s := RenderSweep("t", "threshold", pts); !strings.Contains(s, "threshold") {
+		t.Error("sweep render incomplete")
+	}
+}
+
+func TestDeltaAndFloorSweeps(t *testing.T) {
+	e := sharedEnv(t)
+	d, err := e.DeltaSweep([]int{100, 200, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 3 {
+		t.Fatalf("delta sweep %d points", len(d))
+	}
+	f, err := e.FloorSweep([]int{1000, 1400, 1800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A higher floor cannot reduce the average temperature.
+	if f[2].AvgTC < f[0].AvgTC-0.5 {
+		t.Errorf("floor 1800 avg %.1f vs floor 1000 avg %.1f", f[2].AvgTC, f[0].AvgTC)
+	}
+	if _, err := e.DeltaSweep(nil); err == nil {
+		t.Error("empty delta sweep should error")
+	}
+	if _, err := e.FloorSweep(nil); err == nil {
+		t.Error("empty floor sweep should error")
+	}
+}
+
+func TestTreqForCOVARIANCEGivesEvenSplit(t *testing.T) {
+	e := sharedEnv(t)
+	app := workload.Covariance()
+	if _, err := e.profileApp(app); err != nil {
+		t.Fatal(err)
+	}
+	treq := TreqFor(app, fig5Mapping)
+	part, err := e.Manager().DecidePartition(app.Name, treq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The evaluation policy reproduces the paper's "partition 1024".
+	if part.Num != 4 {
+		t.Errorf("COVARIANCE partition = %s, want 4/8 (the paper's 1024/2048)", part)
+	}
+}

@@ -1,0 +1,216 @@
+// Package governor implements the stock Linux DVFS policies used as
+// baselines in the TEEM paper: ondemand (the Fig. 1(a) baseline),
+// performance, powersave, userspace and conservative. Policies drive the
+// sim.Machine interface the way the kernel drives cpufreq, while the
+// engine's hardware thermal protection (TMU trip/release) acts on top of
+// them exactly as the Exynos firmware does.
+package governor
+
+import (
+	"fmt"
+
+	"teem/internal/sim"
+	"teem/internal/soc"
+)
+
+func setAll(m sim.Machine, pick func(c *soc.Cluster) int) error {
+	p := m.Platform()
+	for i := range p.Clusters {
+		c := &p.Clusters[i]
+		if err := m.SetClusterFreqMHz(c.Name, pick(c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Performance pins every cluster at its maximum frequency.
+type Performance struct{}
+
+// Name implements sim.Governor.
+func (Performance) Name() string { return "performance" }
+
+// PeriodS implements sim.Governor.
+func (Performance) PeriodS() float64 { return 0.1 }
+
+// Start implements sim.Governor.
+func (Performance) Start(m sim.Machine) error {
+	return setAll(m, func(c *soc.Cluster) int { return c.MaxFreqMHz() })
+}
+
+// Act implements sim.Governor. Frequencies may have been lowered by
+// hardware throttling; performance keeps requesting the maximum (the
+// engine clamps while throttled).
+func (Performance) Act(m sim.Machine) error {
+	return setAll(m, func(c *soc.Cluster) int { return c.MaxFreqMHz() })
+}
+
+// Powersave pins every cluster at its minimum frequency.
+type Powersave struct{}
+
+// Name implements sim.Governor.
+func (Powersave) Name() string { return "powersave" }
+
+// PeriodS implements sim.Governor.
+func (Powersave) PeriodS() float64 { return 0.1 }
+
+// Start implements sim.Governor.
+func (Powersave) Start(m sim.Machine) error {
+	return setAll(m, func(c *soc.Cluster) int { return c.MinFreqMHz() })
+}
+
+// Act implements sim.Governor.
+func (Powersave) Act(sim.Machine) error { return nil }
+
+// Userspace holds externally chosen fixed frequencies.
+type Userspace struct {
+	// BigMHz, LittleMHz, GPUMHz are the pinned frequencies; zero means
+	// the cluster maximum.
+	BigMHz, LittleMHz, GPUMHz int
+}
+
+// Name implements sim.Governor.
+func (*Userspace) Name() string { return "userspace" }
+
+// PeriodS implements sim.Governor.
+func (*Userspace) PeriodS() float64 { return 0.1 }
+
+// Start implements sim.Governor.
+func (u *Userspace) Start(m sim.Machine) error {
+	p := m.Platform()
+	pick := map[soc.ClusterKind]int{
+		soc.BigCPU:    u.BigMHz,
+		soc.LittleCPU: u.LittleMHz,
+		soc.GPU:       u.GPUMHz,
+	}
+	for i := range p.Clusters {
+		c := &p.Clusters[i]
+		f := pick[c.Kind]
+		if f == 0 {
+			f = c.MaxFreqMHz()
+		}
+		if err := m.SetClusterFreqMHz(c.Name, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Act implements sim.Governor.
+func (u *Userspace) Act(sim.Machine) error { return nil }
+
+// Ondemand is the classic Linux utilisation governor: above UpThreshold
+// the cluster jumps to maximum frequency, below it the frequency is
+// proportional to utilisation. Combined with the engine's hardware
+// thermal protection this reproduces the 2000↔900 MHz sawtooth of the
+// paper's Fig. 1(a).
+type Ondemand struct {
+	// UpThreshold is the utilisation above which the governor jumps to
+	// the maximum (Linux default 0.80 ≙ 80).
+	UpThreshold float64
+	// SamplingS is the control period (default 0.1 s).
+	SamplingS float64
+}
+
+// NewOndemand returns an ondemand governor with kernel defaults.
+func NewOndemand() *Ondemand { return &Ondemand{UpThreshold: 0.80, SamplingS: 0.1} }
+
+// Name implements sim.Governor.
+func (*Ondemand) Name() string { return "ondemand" }
+
+// PeriodS implements sim.Governor.
+func (o *Ondemand) PeriodS() float64 {
+	if o.SamplingS <= 0 {
+		return 0.1
+	}
+	return o.SamplingS
+}
+
+// Start implements sim.Governor. Linux boots clusters at a mid OPP; the
+// first sampling period then reacts to load.
+func (o *Ondemand) Start(m sim.Machine) error {
+	if o.UpThreshold <= 0 || o.UpThreshold > 1 {
+		return fmt.Errorf("governor: ondemand UpThreshold %g outside (0,1]", o.UpThreshold)
+	}
+	return setAll(m, func(c *soc.Cluster) int { return c.MaxFreqMHz() })
+}
+
+// Act implements sim.Governor.
+func (o *Ondemand) Act(m sim.Machine) error {
+	p := m.Platform()
+	for i := range p.Clusters {
+		c := &p.Clusters[i]
+		util := m.ClusterUtil(c.Name)
+		var want int
+		if util >= o.UpThreshold {
+			want = c.MaxFreqMHz()
+		} else {
+			// Scale so the next period would run at ~UpThreshold
+			// utilisation.
+			cur := m.ClusterFreqMHz(c.Name)
+			want = int(float64(cur) * util / o.UpThreshold)
+			want = c.CeilOPP(want).FreqMHz
+		}
+		if err := m.SetClusterFreqMHz(c.Name, want); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Conservative steps one OPP at a time toward the load, mimicking the
+// Linux conservative governor.
+type Conservative struct {
+	// UpThreshold and DownThreshold bound the dead zone (defaults 0.8
+	// and 0.2).
+	UpThreshold, DownThreshold float64
+	// SamplingS is the control period (default 0.1 s).
+	SamplingS float64
+}
+
+// NewConservative returns a conservative governor with kernel defaults.
+func NewConservative() *Conservative {
+	return &Conservative{UpThreshold: 0.8, DownThreshold: 0.2, SamplingS: 0.1}
+}
+
+// Name implements sim.Governor.
+func (*Conservative) Name() string { return "conservative" }
+
+// PeriodS implements sim.Governor.
+func (c *Conservative) PeriodS() float64 {
+	if c.SamplingS <= 0 {
+		return 0.1
+	}
+	return c.SamplingS
+}
+
+// Start implements sim.Governor.
+func (c *Conservative) Start(m sim.Machine) error {
+	if c.UpThreshold <= c.DownThreshold {
+		return fmt.Errorf("governor: conservative thresholds inverted (%g ≤ %g)", c.UpThreshold, c.DownThreshold)
+	}
+	return setAll(m, func(cl *soc.Cluster) int { return cl.MinFreqMHz() })
+}
+
+// Act implements sim.Governor.
+func (c *Conservative) Act(m sim.Machine) error {
+	p := m.Platform()
+	for i := range p.Clusters {
+		cl := &p.Clusters[i]
+		util := m.ClusterUtil(cl.Name)
+		cur := m.ClusterFreqMHz(cl.Name)
+		var want int
+		switch {
+		case util >= c.UpThreshold:
+			want = cl.CeilOPP(cur + 1).FreqMHz // one OPP up
+		case util <= c.DownThreshold:
+			want = cl.FloorOPP(cur - 1).FreqMHz // one OPP down
+		default:
+			continue
+		}
+		if err := m.SetClusterFreqMHz(cl.Name, want); err != nil {
+			return err
+		}
+	}
+	return nil
+}

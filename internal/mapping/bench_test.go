@@ -1,0 +1,37 @@
+package mapping
+
+import (
+	"testing"
+
+	"teem/internal/soc"
+)
+
+// BenchmarkEnumerateAll walks the full 257 040-point design space.
+func BenchmarkEnumerateAll(b *testing.B) {
+	s, err := NewSpace(soc.Exynos5422())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.EnumerateAll(func(DesignPoint) bool { n++; return true })
+		if n != 257040 {
+			b.Fatal("wrong count")
+		}
+	}
+}
+
+// BenchmarkDiverseSubset materialises the paper's 10 368-point subset.
+func BenchmarkDiverseSubset(b *testing.B) {
+	s, err := NewSpace(soc.Exynos5422())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(s.DiverseSubset()); got != 10368 {
+			b.Fatal("wrong count")
+		}
+	}
+}

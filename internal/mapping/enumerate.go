@@ -1,0 +1,126 @@
+package mapping
+
+import (
+	"fmt"
+
+	"teem/internal/soc"
+)
+
+// Space describes the enumerable design space of a platform.
+type Space struct {
+	nb, nl     int
+	bigOPPs    []soc.OPP
+	littleOPPs []soc.OPP
+	gpuOPPs    []soc.OPP
+}
+
+// NewSpace builds the design space of a CPU-GPU platform. The platform
+// must have big, LITTLE and GPU clusters.
+func NewSpace(p *soc.Platform) (*Space, error) {
+	big, little, gpu := p.Big(), p.Little(), p.GPU()
+	if big == nil || little == nil || gpu == nil {
+		return nil, fmt.Errorf("mapping: platform %s lacks big/LITTLE/GPU clusters", p.Name)
+	}
+	return &Space{
+		nb: big.NumCores, nl: little.NumCores,
+		bigOPPs:    big.OPPs,
+		littleOPPs: little.OPPs,
+		gpuOPPs:    gpu.OPPs,
+	}, nil
+}
+
+// CountCPUMappings is Eq. (1) for this platform.
+func (s *Space) CountCPUMappings() int { return CountCPUMappings(s.nb, s.nl) }
+
+// MaxDesignPoints is Eq. (2) for this platform (28 560 on the Exynos 5422).
+func (s *Space) MaxDesignPoints() int {
+	return MaxDesignPoints(s.nb, len(s.bigOPPs), s.nl, len(s.littleOPPs), len(s.gpuOPPs))
+}
+
+// TotalDesignPoints includes the nine partitions (257 040 on the 5422).
+func (s *Space) TotalDesignPoints() int {
+	return s.MaxDesignPoints() * NumPartitionGrains
+}
+
+// EnumerateAll streams every design point of Eq. (2) × partitions through
+// fn, stopping early if fn returns false. The structure mirrors Eq. (2):
+// big-only, LITTLE-only and combined core×frequency choices, crossed with
+// every GPU frequency and partition grain.
+func (s *Space) EnumerateAll(fn func(DesignPoint) bool) {
+	parts := Partitions()
+	emit := func(m Mapping, f FreqSetting) bool {
+		for _, g := range s.gpuOPPs {
+			f.GPUMHz = g.FreqMHz
+			for _, p := range parts {
+				m.UseGPU = p.Num < p.Den // GPU used unless all work on CPU
+				if !fn(DesignPoint{Map: m, Freq: f, Part: p}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// Big-only.
+	for i := 1; i <= s.nb; i++ {
+		for _, fb := range s.bigOPPs {
+			if !emit(Mapping{Big: i}, FreqSetting{BigMHz: fb.FreqMHz}) {
+				return
+			}
+		}
+	}
+	// LITTLE-only.
+	for j := 1; j <= s.nl; j++ {
+		for _, fl := range s.littleOPPs {
+			if !emit(Mapping{Little: j}, FreqSetting{LittleMHz: fl.FreqMHz}) {
+				return
+			}
+		}
+	}
+	// Combined.
+	for i := 1; i <= s.nb; i++ {
+		for _, fb := range s.bigOPPs {
+			for j := 1; j <= s.nl; j++ {
+				for _, fl := range s.littleOPPs {
+					if !emit(Mapping{Big: i, Little: j},
+						FreqSetting{BigMHz: fb.FreqMHz, LittleMHz: fl.FreqMHz}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// DiverseSubsetBigMHz and DiverseSubsetLittleMHz are the frequency strides
+// of the profiled subset: every 200 MHz from 600 (big) and every 200 MHz
+// from 400 (LITTLE). Together with the 24 Eq. (1) mappings, the GPU at
+// maximum frequency and 9 partitions this yields the paper's
+// 24 × 8 × 6 × 9 = 10 368 design points.
+var (
+	DiverseSubsetBigMHz    = []int{600, 800, 1000, 1200, 1400, 1600, 1800, 2000}
+	DiverseSubsetLittleMHz = []int{400, 600, 800, 1000, 1200, 1400}
+)
+
+// DiverseSubset materialises the profiled subset of the design space.
+func (s *Space) DiverseSubset() []DesignPoint {
+	gpuMax := s.gpuOPPs[len(s.gpuOPPs)-1].FreqMHz
+	parts := Partitions()
+	maps := CPUMappings(s.nb, s.nl)
+	out := make([]DesignPoint, 0, len(maps)*len(DiverseSubsetBigMHz)*len(DiverseSubsetLittleMHz)*len(parts))
+	for _, m := range maps {
+		for _, fb := range DiverseSubsetBigMHz {
+			for _, fl := range DiverseSubsetLittleMHz {
+				for _, p := range parts {
+					mm := m
+					mm.UseGPU = p.Num < p.Den
+					out = append(out, DesignPoint{
+						Map:  mm,
+						Freq: FreqSetting{BigMHz: fb, LittleMHz: fl, GPUMHz: gpuMax},
+						Part: p,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

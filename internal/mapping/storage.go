@@ -1,0 +1,51 @@
+package mapping
+
+// Storage accounting for the paper's §V.D memory-optimisation comparison.
+//
+// EEMP keeps, per application, a table of evaluated design points (128 on
+// the Exynos 5422 per the paper) so the runtime can look configurations
+// up. TEEM replaces the table with the fitted regression model (three
+// float64 coefficients) plus the stored ETGPU — two items.
+
+// DesignPointRecordBytes is the serialised size of one stored design-point
+// record in an EEMP-style table: core counts and GPU flag (3 bytes),
+// three 16-bit cluster frequencies (6 bytes), the partition numerator
+// (1 byte), plus the two float32 metrics (predicted execution time and
+// energy) the runtime selects on (8 bytes). Records are padded to 20
+// bytes for alignment.
+const DesignPointRecordBytes = 20
+
+// EEMPTableEntries is the per-application design-point table size of the
+// EEMP baseline on the Exynos 5422, as reported in §V.D of the paper.
+const EEMPTableEntries = 128
+
+// EEMPStoredItems returns the per-application item count of the
+// table-based store.
+func EEMPStoredItems() int { return EEMPTableEntries }
+
+// EEMPStorageBytes returns the per-application byte cost of the
+// table-based store.
+func EEMPStorageBytes() int { return EEMPTableEntries * DesignPointRecordBytes }
+
+// ModelCoefficients is the number of float64 coefficients of TEEM's
+// per-application mapping model (intercept, AT slope, ET slope — Eq. 6).
+const ModelCoefficients = 3
+
+// TEEMStoredItems returns the per-application item count of the
+// model-based store: the model and the stored ETGPU.
+func TEEMStoredItems() int { return 2 }
+
+// TEEMStorageBytes returns the per-application byte cost of the
+// model-based store: three float64 coefficients plus one float64 ETGPU.
+func TEEMStorageBytes() int { return ModelCoefficients*8 + 8 }
+
+// MemorySavingFraction returns the fractional byte saving of the
+// model-based store over the table-based store (the paper's 98.8 %).
+func MemorySavingFraction() float64 {
+	return 1 - float64(TEEMStorageBytes())/float64(EEMPStorageBytes())
+}
+
+// ItemSavingFraction returns the fractional item-count saving (2 vs 128).
+func ItemSavingFraction() float64 {
+	return 1 - float64(TEEMStoredItems())/float64(EEMPStoredItems())
+}

@@ -1,0 +1,27 @@
+package power
+
+import (
+	"testing"
+
+	"teem/internal/soc"
+)
+
+// BenchmarkEvaluate measures one full board power evaluation (per
+// simulation tick).
+func BenchmarkEvaluate(b *testing.B) {
+	m, err := NewModel(soc.Exynos5422())
+	if err != nil {
+		b.Fatal(err)
+	}
+	loads := []ClusterLoad{
+		{FreqMHz: 2000, ActiveCores: 4, OnCores: 4, Utilization: 1, Activity: 0.8, TempC: 90},
+		{FreqMHz: 1400, ActiveCores: 4, OnCores: 4, Utilization: 1, Activity: 0.8, TempC: 75},
+		{FreqMHz: 600, ActiveCores: 6, OnCores: 6, Utilization: 1, Activity: 0.8, TempC: 80},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Evaluate(loads, 2.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

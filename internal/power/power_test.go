@@ -1,0 +1,224 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"teem/internal/soc"
+)
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(soc.Exynos5422())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelRejectsInvalidPlatform(t *testing.T) {
+	p := soc.Exynos5422()
+	p.Name = ""
+	if _, err := NewModel(p); err == nil {
+		t.Error("NewModel should reject invalid platform")
+	}
+}
+
+func TestBigClusterFullLoadEnvelope(t *testing.T) {
+	m := newModel(t)
+	bigIdx := m.Platform().ClusterIndex("A15")
+	dyn, leak, err := m.ClusterPower(bigIdx, ClusterLoad{
+		FreqMHz: 2000, ActiveCores: 4, OnCores: 4, Utilization: 1, Activity: 1, TempC: 85,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := dyn + leak
+	// Calibration target: 4 A15 cores at 2 GHz full tilt ≈ 5–8.5 W.
+	if total < 5.0 || total > 8.5 {
+		t.Errorf("big cluster full load = %.2f W, want 5–8.5 W", total)
+	}
+	if dyn <= leak {
+		t.Errorf("dynamic power (%.2f) should dominate leakage (%.2f) at full load", dyn, leak)
+	}
+}
+
+func TestLittleClusterIsMuchMoreEfficient(t *testing.T) {
+	m := newModel(t)
+	p := m.Platform()
+	bigDyn, _, _ := m.ClusterPower(p.ClusterIndex("A15"), ClusterLoad{
+		FreqMHz: 1400, ActiveCores: 4, OnCores: 4, Utilization: 1, Activity: 1, TempC: 70,
+	})
+	litDyn, _, _ := m.ClusterPower(p.ClusterIndex("A7"), ClusterLoad{
+		FreqMHz: 1400, ActiveCores: 4, OnCores: 4, Utilization: 1, Activity: 1, TempC: 70,
+	})
+	if litDyn >= bigDyn/2.5 {
+		t.Errorf("LITTLE (%.2f W) should draw well under half of big (%.2f W) at equal f", litDyn, bigDyn)
+	}
+}
+
+func TestLeakageGrowsWithTemperature(t *testing.T) {
+	m := newModel(t)
+	load := func(temp float64) ClusterLoad {
+		return ClusterLoad{FreqMHz: 2000, ActiveCores: 0, OnCores: 4, Utilization: 0, TempC: temp}
+	}
+	_, cold, _ := m.ClusterPower(0, load(40))
+	_, hot, _ := m.ClusterPower(0, load(95))
+	if hot <= cold {
+		t.Errorf("leakage at 95°C (%.3f) should exceed leakage at 40°C (%.3f)", hot, cold)
+	}
+	// Below 25 °C the temperature term clamps.
+	_, sub, _ := m.ClusterPower(0, load(10))
+	_, ref, _ := m.ClusterPower(0, load(25))
+	if sub != ref {
+		t.Errorf("leakage below 25°C should clamp: %g vs %g", sub, ref)
+	}
+}
+
+func TestDynamicScalesWithVoltageSquaredAndFrequency(t *testing.T) {
+	m := newModel(t)
+	big := m.Platform().Big()
+	mk := func(f int) ClusterLoad {
+		return ClusterLoad{FreqMHz: f, ActiveCores: 1, OnCores: 1, Utilization: 1, Activity: 1, TempC: 60}
+	}
+	d1, _, _ := m.ClusterPower(0, mk(1000))
+	d2, _, _ := m.ClusterPower(0, mk(2000))
+	v1, v2 := big.VoltageAt(1000), big.VoltageAt(2000)
+	wantRatio := (v2 * v2 * 2000) / (v1 * v1 * 1000)
+	if got := d2 / d1; math.Abs(got-wantRatio) > 1e-9 {
+		t.Errorf("dynamic ratio = %g, want %g (V²f scaling)", got, wantRatio)
+	}
+}
+
+func TestExplicitVoltageOverride(t *testing.T) {
+	m := newModel(t)
+	a, _, _ := m.ClusterPower(0, ClusterLoad{FreqMHz: 1000, VoltV: 1.2, ActiveCores: 1, OnCores: 1, Utilization: 1, TempC: 50})
+	b, _, _ := m.ClusterPower(0, ClusterLoad{FreqMHz: 1000, ActiveCores: 1, OnCores: 1, Utilization: 1, TempC: 50})
+	if a == b {
+		t.Error("explicit voltage should override the OPP table")
+	}
+}
+
+func TestClusterPowerValidation(t *testing.T) {
+	m := newModel(t)
+	bad := []ClusterLoad{
+		{FreqMHz: 1000, ActiveCores: -1, OnCores: 4, Utilization: 0.5},
+		{FreqMHz: 1000, ActiveCores: 3, OnCores: 2, Utilization: 0.5},
+		{FreqMHz: 1000, ActiveCores: 2, OnCores: 9, Utilization: 0.5},
+		{FreqMHz: 1000, ActiveCores: 2, OnCores: 4, Utilization: 1.5},
+		{FreqMHz: 1000, ActiveCores: 2, OnCores: 4, Utilization: -0.5},
+		{FreqMHz: 1000, ActiveCores: 2, OnCores: 4, Utilization: 0.5, Activity: 2},
+	}
+	for i, l := range bad {
+		if _, _, err := m.ClusterPower(0, l); err == nil {
+			t.Errorf("case %d: ClusterPower accepted invalid load %+v", i, l)
+		}
+	}
+	if _, _, err := m.ClusterPower(99, ClusterLoad{}); err == nil {
+		t.Error("ClusterPower should reject out-of-range index")
+	}
+}
+
+func TestEvaluateIdleEnvelope(t *testing.T) {
+	m := newModel(t)
+	b, err := m.Evaluate(IdleLoads(m.Platform(), 40), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle board ≈ baseline + leakage: 2.3–3.5 W.
+	if tot := b.TotalW(); tot < 2.8 || tot > 4.2 {
+		t.Errorf("idle board power = %.2f W, want 2.8–4.2 W", tot)
+	}
+	for i, d := range b.DynamicW {
+		if d != 0 {
+			t.Errorf("cluster %d idle dynamic power = %g, want 0", i, d)
+		}
+	}
+}
+
+func TestEvaluateFullTiltEnvelope(t *testing.T) {
+	m := newModel(t)
+	p := m.Platform()
+	loads := []ClusterLoad{
+		{FreqMHz: 2000, ActiveCores: 4, OnCores: 4, Utilization: 1, Activity: 0.8, TempC: 90},
+		{FreqMHz: 1400, ActiveCores: 4, OnCores: 4, Utilization: 1, Activity: 0.8, TempC: 75},
+		{FreqMHz: 600, ActiveCores: 6, OnCores: 6, Utilization: 1, Activity: 0.8, TempC: 80},
+	}
+	b, err := m.Evaluate(loads, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's board-level envelope under COVARIANCE-like load: ~10–12 W.
+	if tot := b.TotalW(); tot < 9 || tot > 14 {
+		t.Errorf("full-tilt board power = %.2f W, want 9–14 W", tot)
+	}
+	_ = p
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	m := newModel(t)
+	if _, err := m.Evaluate(nil, 0); err == nil {
+		t.Error("Evaluate should reject wrong load count")
+	}
+	if _, err := m.Evaluate(IdleLoads(m.Platform(), 40), -1); err == nil {
+		t.Error("Evaluate should reject negative memory traffic")
+	}
+}
+
+func TestBreakdownClusterW(t *testing.T) {
+	b := &Breakdown{DynamicW: []float64{1, 2}, LeakageW: []float64{0.5, 0.25}, DRAMW: 0.1, BaselineW: 2}
+	if got := b.ClusterW(0); got != 1.5 {
+		t.Errorf("ClusterW(0) = %g, want 1.5", got)
+	}
+	if got := b.TotalW(); math.Abs(got-5.85) > 1e-12 {
+		t.Errorf("TotalW = %g, want 5.85", got)
+	}
+}
+
+// Property: power is monotone in frequency (at fixed everything else) and
+// always non-negative.
+func TestPowerMonotoneInFrequencyProperty(t *testing.T) {
+	m := newModel(t)
+	big := m.Platform().Big()
+	f := func(i, j uint8, util float64) bool {
+		u := math.Mod(math.Abs(util), 1)
+		fi := big.OPPs[int(i)%len(big.OPPs)].FreqMHz
+		fj := big.OPPs[int(j)%len(big.OPPs)].FreqMHz
+		if fi > fj {
+			fi, fj = fj, fi
+		}
+		mk := func(f int) ClusterLoad {
+			return ClusterLoad{FreqMHz: f, ActiveCores: 4, OnCores: 4, Utilization: u, Activity: 0.8, TempC: 60}
+		}
+		dLo, lLo, err1 := m.ClusterPower(0, mk(fi))
+		dHi, lHi, err2 := m.ClusterPower(0, mk(fj))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return dLo >= 0 && lLo >= 0 && dLo <= dHi+1e-12 && lLo <= lHi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding active cores never reduces power.
+func TestPowerMonotoneInCoresProperty(t *testing.T) {
+	m := newModel(t)
+	f := func(a, b uint8) bool {
+		na, nb := int(a)%5, int(b)%5
+		if na > nb {
+			na, nb = nb, na
+		}
+		mk := func(n int) ClusterLoad {
+			return ClusterLoad{FreqMHz: 1800, ActiveCores: n, OnCores: 4, Utilization: 1, Activity: 0.8, TempC: 70}
+		}
+		dLo, _, err1 := m.ClusterPower(0, mk(na))
+		dHi, _, err2 := m.ClusterPower(0, mk(nb))
+		return err1 == nil && err2 == nil && dLo <= dHi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

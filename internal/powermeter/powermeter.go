@@ -1,0 +1,96 @@
+// Package powermeter simulates the Odroid Smart Power 2 used in the TEEM
+// paper: a board-level meter that samples voltage/current/power at 1 Hz
+// (the device default) with finite display resolution, and accumulates
+// energy the way the device's kWh counter does — from the sampled values,
+// not the continuous waveform.
+package powermeter
+
+import (
+	"errors"
+	"math"
+)
+
+// Meter is a sampling power meter.
+type Meter struct {
+	// PeriodS is the sampling period in seconds (1.0 for the SP2).
+	PeriodS float64
+	// ResolutionW quantises each power sample (the SP2 displays two
+	// decimals, i.e. 0.01 W). Zero disables quantisation.
+	ResolutionW float64
+
+	samples []float64
+	nextAt  float64
+	lastT   float64
+	started bool
+}
+
+// New returns a meter with the Smart Power 2 defaults: 1 Hz, 0.01 W.
+func New() *Meter { return &Meter{PeriodS: 1.0, ResolutionW: 0.01} }
+
+// Reset clears accumulated samples.
+func (m *Meter) Reset() {
+	m.samples = nil
+	m.nextAt = 0
+	m.lastT = 0
+	m.started = false
+}
+
+// Observe feeds the continuous power waveform: callers report the
+// instantaneous board power at monotonically non-decreasing times. The
+// meter latches a sample whenever a sampling instant passes.
+func (m *Meter) Observe(tS, powerW float64) error {
+	if m.PeriodS <= 0 {
+		return errors.New("powermeter: sampling period must be positive")
+	}
+	if m.started && tS < m.lastT {
+		return errors.New("powermeter: time went backwards")
+	}
+	if !m.started {
+		m.started = true
+		m.nextAt = 0 // sample at t=0 like the device's first report
+	}
+	for m.nextAt <= tS {
+		// Sample-and-hold of the most recent value at the sampling
+		// instant.
+		p := powerW
+		m.samples = append(m.samples, m.quantize(p))
+		m.nextAt += m.PeriodS
+	}
+	m.lastT = tS
+	return nil
+}
+
+func (m *Meter) quantize(p float64) float64 {
+	if m.ResolutionW <= 0 {
+		return p
+	}
+	return math.Round(p/m.ResolutionW) * m.ResolutionW
+}
+
+// Samples returns the recorded power samples in watts.
+func (m *Meter) Samples() []float64 { return append([]float64(nil), m.samples...) }
+
+// EnergyJ returns the accumulated energy in joules, computed as the sum of
+// samples times the period — exactly how a sampling meter integrates.
+func (m *Meter) EnergyJ() float64 {
+	e := 0.0
+	for _, p := range m.samples {
+		e += p * m.PeriodS
+	}
+	return e
+}
+
+// EnergyKWh returns the energy in kilowatt-hours as displayed by the SP2.
+func (m *Meter) EnergyKWh() float64 { return m.EnergyJ() / 3.6e6 }
+
+// AvgPowerW returns the mean of the samples.
+func (m *Meter) AvgPowerW() float64 {
+	if len(m.samples) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range m.samples {
+		s += p
+	}
+	return s / float64(len(m.samples))
+}

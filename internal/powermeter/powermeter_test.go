@@ -1,0 +1,116 @@
+package powermeter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantPowerEnergy(t *testing.T) {
+	m := New()
+	for i := 0; i <= 1000; i++ {
+		if err := m.Observe(float64(i)*0.01, 5.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Samples at t=0..10 inclusive → 11 samples of 5 W × 1 s.
+	if n := len(m.Samples()); n != 11 {
+		t.Errorf("got %d samples, want 11", n)
+	}
+	if got := m.EnergyJ(); math.Abs(got-55) > 1e-9 {
+		t.Errorf("EnergyJ = %g, want 55", got)
+	}
+	if got := m.AvgPowerW(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("AvgPowerW = %g, want 5", got)
+	}
+	if got := m.EnergyKWh(); math.Abs(got-55.0/3.6e6) > 1e-15 {
+		t.Errorf("EnergyKWh = %g", got)
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	m := New()
+	if err := m.Observe(0, 5.123456); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Samples()
+	if len(s) != 1 || math.Abs(s[0]-5.12) > 1e-12 {
+		t.Errorf("sample = %v, want [5.12]", s)
+	}
+	raw := &Meter{PeriodS: 1}
+	if err := raw.Observe(0, 5.123456); err != nil {
+		t.Fatal(err)
+	}
+	if raw.Samples()[0] != 5.123456 {
+		t.Error("zero resolution should not quantise")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	bad := &Meter{PeriodS: 0}
+	if err := bad.Observe(0, 1); err == nil {
+		t.Error("zero period should error")
+	}
+	m := New()
+	if err := m.Observe(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(4, 1); err == nil {
+		t.Error("time going backwards should error")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New()
+	if err := m.Observe(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if len(m.Samples()) != 0 || m.EnergyJ() != 0 || m.AvgPowerW() != 0 {
+		t.Error("Reset should clear state")
+	}
+	// Observable again from t=0 after reset.
+	if err := m.Observe(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Samples()) != 1 {
+		t.Error("meter unusable after Reset")
+	}
+}
+
+func TestSparseObservationsCatchUp(t *testing.T) {
+	m := &Meter{PeriodS: 1}
+	// A single late observation at t=3.5 latches samples for t=0,1,2,3.
+	if err := m.Observe(3.5, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(m.Samples()); n != 4 {
+		t.Errorf("got %d samples, want 4", n)
+	}
+}
+
+// Property: energy equals period × sum of samples, and the sample count
+// grows like floor(t/period)+1.
+func TestMeterInvariantsProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		m := &Meter{PeriodS: 1}
+		tm := 0.0
+		for _, s := range steps {
+			tm += float64(s%40) / 10
+			if err := m.Observe(tm, 3.0); err != nil {
+				return false
+			}
+		}
+		want := int(math.Floor(tm)) + 1
+		if len(steps) == 0 {
+			want = 0
+		}
+		if len(m.Samples()) != want {
+			return false
+		}
+		return math.Abs(m.EnergyJ()-3.0*float64(want)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

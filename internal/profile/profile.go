@@ -1,0 +1,298 @@
+// Package profile evaluates design points for applications on a platform
+// model. It offers two fidelities:
+//
+//   - Evaluate: fast analytic prediction (Eq. 3 execution time, power-model
+//     energy at thermal steady state) used to sweep large design spaces —
+//     the paper's 10 368-point diverse subset — and to fill the EEMP
+//     baseline's offline tables;
+//   - Simulate: full transient co-simulation through internal/sim for the
+//     measurements that become regression observations.
+//
+// The analytic path deliberately ignores transient throttling: that is
+// exactly the blind spot of offline-only approaches the paper exploits,
+// so baselines built on these predictions exhibit the paper's failure
+// modes when the thermal reality differs.
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"teem/internal/mapping"
+	"teem/internal/power"
+	"teem/internal/sim"
+	"teem/internal/soc"
+	"teem/internal/thermal"
+	"teem/internal/workload"
+)
+
+// PointEval is the predicted or measured behaviour of one design point.
+type PointEval struct {
+	// DP is the evaluated design point.
+	DP mapping.DesignPoint
+	// ETS is execution time (s); ECJ energy (J); ATC and PTC the
+	// average and peak big-cluster temperature (°C).
+	ETS, ECJ, ATC, PTC float64
+}
+
+// Evaluator predicts design-point behaviour on a platform.
+type Evaluator struct {
+	plat *soc.Platform
+	net  *thermal.Network
+	pow  *power.Model
+}
+
+// NewEvaluator builds an evaluator.
+func NewEvaluator(plat *soc.Platform, net *thermal.Network) (*Evaluator, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if plat.Big() == nil || plat.Little() == nil || plat.GPU() == nil {
+		return nil, errors.New("profile: platform must have big, LITTLE and GPU clusters")
+	}
+	pm, err := power.NewModel(plat)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{plat: plat, net: net, pow: pm}, nil
+}
+
+// Evaluate analytically predicts one design point: chunk times from the
+// workload model (Eq. 3), steady-state temperatures from the RC network,
+// and energy as predicted power × predicted time.
+func (ev *Evaluator) Evaluate(app *workload.App, dp mapping.DesignPoint) (PointEval, error) {
+	if err := app.Validate(); err != nil {
+		return PointEval{}, err
+	}
+	big, lit, gpu := ev.plat.Big(), ev.plat.Little(), ev.plat.GPU()
+	if err := dp.Map.Validate(big.NumCores, lit.NumCores); err != nil {
+		return PointEval{}, err
+	}
+	if err := dp.Part.Validate(); err != nil {
+		return PointEval{}, err
+	}
+	fb := snap(big, dp.Freq.BigMHz)
+	fl := snap(lit, dp.Freq.LittleMHz)
+	fg := snap(gpu, dp.Freq.GPUMHz)
+
+	total := float64(app.WorkItems)
+	cpuWI := float64(dp.Part.CPUItems(app.WorkItems))
+	gpuWI := total - cpuWI
+	if cpuWI > 0 && dp.Map.CPUCores() == 0 {
+		return PointEval{}, errors.New("profile: CPU work-items but no CPU cores in mapping")
+	}
+	if gpuWI > 0 && !dp.Map.UseGPU {
+		return PointEval{}, errors.New("profile: GPU work-items but GPU unused in mapping")
+	}
+
+	// Eq. (3): ET = max(CPU chunk, GPU chunk).
+	var tCPU, tGPU float64
+	cpuRate := app.CPURate(dp.Map.Big, dp.Map.Little, fb, fl)
+	if cpuWI > 0 {
+		tCPU = cpuWI / cpuRate
+	}
+	gpuRate := app.GPURate(gpu.NumCores, fg)
+	if gpuWI > 0 {
+		tGPU = gpuWI / gpuRate
+	}
+	et := math.Max(tCPU, tGPU)
+	if et <= 0 {
+		return PointEval{}, errors.New("profile: design point performs no work")
+	}
+
+	// Steady-state temperatures and power with both chunks active
+	// (leakage evaluated at a two-pass fixed point).
+	bd, temps, err := ev.steady(app, dp, fb, fl, fg, cpuWI > 0, gpuWI > 0)
+	if err != nil {
+		return PointEval{}, err
+	}
+	bigNode := ev.net.NodeIndex(big.Name)
+	at := temps[bigNode]
+
+	return PointEval{
+		DP:  dp,
+		ETS: et,
+		ECJ: bd.TotalW() * et,
+		ATC: at,
+		// The analytic peak adds the transient overshoot margin the
+		// integrator exhibits near regime change; steady state is
+		// the asymptote, so PT ≈ AT here.
+		PTC: at,
+	}, nil
+}
+
+func snap(c *soc.Cluster, mhz int) int {
+	if mhz == 0 {
+		return c.MaxFreqMHz()
+	}
+	return c.NearestOPP(mhz).FreqMHz
+}
+
+// steady computes the fixed-point power/temperature for a fully loaded
+// design point.
+func (ev *Evaluator) steady(app *workload.App, dp mapping.DesignPoint, fb, fl, fg int, cpuBusy, gpuBusy bool) (*power.Breakdown, []float64, error) {
+	gpu := ev.plat.GPU()
+	temps := make([]float64, len(ev.net.Nodes))
+	for i := range temps {
+		temps[i] = 60 // reasonable operating seed
+	}
+	therm, err := thermal.NewModel(ev.net, ev.plat.AmbientC)
+	if err != nil {
+		return nil, nil, err
+	}
+	var bd *power.Breakdown
+	for iter := 0; iter < 4; iter++ {
+		loads := make([]power.ClusterLoad, len(ev.plat.Clusters))
+		for i := range ev.plat.Clusters {
+			c := &ev.plat.Clusters[i]
+			node := ev.net.NodeIndex(c.Name)
+			l := power.ClusterLoad{FreqMHz: maxFreqFor(c, fb, fl, fg), TempC: temps[node], Activity: 1}
+			switch c.Kind {
+			case soc.BigCPU:
+				l.ActiveCores = dp.Map.Big
+				l.OnCores = dp.Map.Big
+				l.Utilization = bool2f(cpuBusy && dp.Map.Big > 0)
+				l.Activity = app.ActivityCPU
+			case soc.LittleCPU:
+				l.ActiveCores = dp.Map.Little
+				l.OnCores = dp.Map.Little
+				l.Utilization = bool2f(cpuBusy && dp.Map.Little > 0)
+				l.Activity = app.ActivityCPU
+			case soc.GPU:
+				if dp.Map.UseGPU {
+					l.ActiveCores = c.NumCores
+					l.OnCores = c.NumCores
+				}
+				l.Utilization = bool2f(gpuBusy && dp.Map.UseGPU)
+				l.Activity = app.ActivityGPU
+			}
+			if l.ActiveCores == 0 {
+				l.Utilization = 0
+			}
+			loads[i] = l
+		}
+		rate := 0.0
+		if cpuBusy {
+			rate += app.CPURate(dp.Map.Big, dp.Map.Little, fb, fl)
+		}
+		if gpuBusy && dp.Map.UseGPU {
+			rate += app.GPURate(gpu.NumCores, fg)
+		}
+		bd, err = ev.pow.Evaluate(loads, app.MemGBs(rate))
+		if err != nil {
+			return nil, nil, err
+		}
+		inj := make([]float64, len(ev.net.Nodes))
+		for i := range ev.plat.Clusters {
+			inj[ev.net.NodeIndex(ev.plat.Clusters[i].Name)] += bd.ClusterW(i)
+		}
+		pkg := ev.net.NodeIndex("pkg")
+		if pkg >= 0 {
+			inj[pkg] += bd.DRAMW + 0.5*bd.BaselineW
+		}
+		temps, err = therm.SteadyState(inj)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return bd, temps, nil
+}
+
+func maxFreqFor(c *soc.Cluster, fb, fl, fg int) int {
+	switch c.Kind {
+	case soc.BigCPU:
+		return fb
+	case soc.LittleCPU:
+		return fl
+	case soc.GPU:
+		return fg
+	default:
+		return c.MaxFreqMHz()
+	}
+}
+
+func bool2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvaluateMany sweeps a set of design points, skipping infeasible ones
+// (e.g. CPU work with no CPU cores) silently, and returns the feasible
+// evaluations.
+func (ev *Evaluator) EvaluateMany(app *workload.App, dps []mapping.DesignPoint) []PointEval {
+	out := make([]PointEval, 0, len(dps))
+	for _, dp := range dps {
+		pe, err := ev.Evaluate(app, dp)
+		if err != nil {
+			continue
+		}
+		out = append(out, pe)
+	}
+	return out
+}
+
+// Simulate runs a full transient co-simulation of a design point with an
+// optional governor, using the paper's steady-regime protocol.
+func (ev *Evaluator) Simulate(app *workload.App, dp mapping.DesignPoint, gov sim.Governor, hotplug bool) (*sim.Result, error) {
+	cfg := sim.Config{
+		Platform:      ev.plat,
+		Net:           ev.net,
+		App:           app,
+		Map:           dp.Map,
+		Part:          dp.Part,
+		Freq:          dp.Freq,
+		Governor:      gov,
+		HotplugUnused: hotplug,
+	}
+	return sim.RunWarm(cfg)
+}
+
+// BestByET returns the evaluation with the lowest predicted execution
+// time.
+func BestByET(evals []PointEval) (PointEval, error) {
+	if len(evals) == 0 {
+		return PointEval{}, errors.New("profile: no evaluations")
+	}
+	best := evals[0]
+	for _, e := range evals[1:] {
+		if e.ETS < best.ETS {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// BestByEnergy returns the lowest-energy evaluation whose execution time
+// does not exceed treqS (0 disables the constraint). If none qualifies the
+// fastest point is returned with ok=false.
+func BestByEnergy(evals []PointEval, treqS float64) (PointEval, bool, error) {
+	if len(evals) == 0 {
+		return PointEval{}, false, errors.New("profile: no evaluations")
+	}
+	var best *PointEval
+	for i := range evals {
+		e := &evals[i]
+		if treqS > 0 && e.ETS > treqS {
+			continue
+		}
+		if best == nil || e.ECJ < best.ECJ {
+			best = e
+		}
+	}
+	if best != nil {
+		return *best, true, nil
+	}
+	fastest, err := BestByET(evals)
+	return fastest, false, err
+}
+
+// String renders a PointEval compactly.
+func (pe PointEval) String() string {
+	return fmt.Sprintf("%s ET=%.1fs EC=%.0fJ AT=%.1f°C", pe.DP, pe.ETS, pe.ECJ, pe.ATC)
+}

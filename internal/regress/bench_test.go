@@ -1,0 +1,30 @@
+package regress
+
+import "testing"
+
+// BenchmarkFit measures a paper-sized OLS fit (17 observations, 4
+// predictors) with the full R-style summary statistics.
+func BenchmarkFit(b *testing.B) {
+	n := 17
+	ds := &Dataset{
+		ResponseName:   "M",
+		PredictorNames: []string{"AT", "ET", "PT", "EC"},
+		Predictors:     make([][]float64, 4),
+	}
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		j1 := float64((i*7)%5) / 10 // deterministic jitter breaks collinearity
+		j2 := float64((i*3)%7) / 10
+		ds.Response = append(ds.Response, 2+0.4*x+j1)
+		ds.Predictors[0] = append(ds.Predictors[0], 85+0.3*x+j2)
+		ds.Predictors[1] = append(ds.Predictors[1], 50-1.5*x+0.1*x*x)
+		ds.Predictors[2] = append(ds.Predictors[2], 90+0.28*x+j1*j2)
+		ds.Predictors[3] = append(ds.Predictors[3], 400-9*x+j2*3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"teem/internal/stats"
+)
+
+// This file adds the collinearity diagnostics behind the paper's Table I
+// discussion ("when combined in a model, they masked each other... This
+// often results in collinear problem whenever two or more predictors are
+// strongly correlated"): variance inflation factors, a pairwise
+// correlation matrix, and coefficient confidence intervals.
+
+// VIF returns the variance inflation factor of each predictor in the
+// dataset: 1/(1−R²ⱼ) where R²ⱼ comes from regressing predictor j on the
+// others. Values above ~5–10 flag the collinearity that motivates the
+// paper's model reduction (dropping PT and EC).
+func VIF(d *Dataset) (map[string]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.Predictors) < 2 {
+		return nil, errors.New("regress: VIF needs at least two predictors")
+	}
+	out := make(map[string]float64, len(d.Predictors))
+	for j, name := range d.PredictorNames {
+		sub := &Dataset{
+			ResponseName: name,
+			Response:     append([]float64(nil), d.Predictors[j]...),
+		}
+		for k, other := range d.PredictorNames {
+			if k == j {
+				continue
+			}
+			sub.PredictorNames = append(sub.PredictorNames, other)
+			sub.Predictors = append(sub.Predictors, append([]float64(nil), d.Predictors[k]...))
+		}
+		m, err := Fit(sub)
+		if err != nil {
+			// A perfectly collinear predictor has infinite VIF.
+			if errors.Is(err, ErrSingular) {
+				out[name] = math.Inf(1)
+				continue
+			}
+			return nil, fmt.Errorf("regress: VIF(%s): %w", name, err)
+		}
+		r2 := m.RSquared
+		if r2 >= 1 {
+			out[name] = math.Inf(1)
+		} else {
+			out[name] = 1 / (1 - r2)
+		}
+	}
+	return out, nil
+}
+
+// CorrelationMatrix returns the Pearson correlation between every pair of
+// columns (response first, then predictors), in the order of Names.
+type CorrelationMatrix struct {
+	Names []string
+	R     [][]float64
+}
+
+// Correlations computes the correlation matrix of the dataset.
+func Correlations(d *Dataset) (*CorrelationMatrix, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	names := append([]string{d.ResponseName}, d.PredictorNames...)
+	cols := append([][]float64{d.Response}, d.Predictors...)
+	n := len(cols)
+	r := make([][]float64, n)
+	for i := range r {
+		r[i] = make([]float64, n)
+		r[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v, err := stats.Pearson(cols[i], cols[j])
+			if err != nil {
+				return nil, fmt.Errorf("regress: correlation %s~%s: %w", names[i], names[j], err)
+			}
+			r[i][j], r[j][i] = v, v
+		}
+	}
+	return &CorrelationMatrix{Names: names, R: r}, nil
+}
+
+// Of returns the correlation between two named columns.
+func (c *CorrelationMatrix) Of(a, b string) (float64, error) {
+	ia, ib := -1, -1
+	for i, n := range c.Names {
+		if n == a {
+			ia = i
+		}
+		if n == b {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 {
+		return 0, fmt.Errorf("regress: unknown column in correlation lookup (%q, %q)", a, b)
+	}
+	return c.R[ia][ib], nil
+}
+
+// ConfInt returns the (1−alpha) confidence interval of a fitted
+// coefficient, using the Student-t quantile on the residual degrees of
+// freedom — R's confint().
+func (m *Model) ConfInt(name string, alpha float64) (lo, hi float64, err error) {
+	if alpha <= 0 || alpha >= 1 {
+		return 0, 0, errors.New("regress: alpha outside (0,1)")
+	}
+	c, ok := m.Coef(name)
+	if !ok {
+		return 0, 0, fmt.Errorf("regress: unknown coefficient %q", name)
+	}
+	t := stats.StudentTQuantile(1-alpha/2, float64(m.DFResidual))
+	return c.Estimate - t*c.StdError, c.Estimate + t*c.StdError, nil
+}

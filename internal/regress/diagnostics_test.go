@@ -1,0 +1,189 @@
+package regress
+
+import (
+	"math"
+	"testing"
+)
+
+// Orthogonal predictors have VIF ≈ 1.
+func TestVIFOrthogonal(t *testing.T) {
+	d := &Dataset{
+		ResponseName:   "y",
+		Response:       []float64{1, 2, 3, 4, 5, 6, 7, 8},
+		PredictorNames: []string{"a", "b"},
+		Predictors: [][]float64{
+			{1, -1, 1, -1, 1, -1, 1, -1},
+			{1, 1, -1, -1, 1, 1, -1, -1},
+		},
+	}
+	v, err := VIF(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, vif := range v {
+		if math.Abs(vif-1) > 1e-9 {
+			t.Errorf("VIF(%s) = %g, want 1 for orthogonal design", name, vif)
+		}
+	}
+}
+
+// Strongly correlated predictors have large VIF — the paper's AT↔PT and
+// ET↔EC masking.
+func TestVIFCollinear(t *testing.T) {
+	n := 12
+	at := make([]float64, n)
+	pt := make([]float64, n)
+	et := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		at[i] = 80 + x
+		pt[i] = 84 + x + 0.05*float64((i*3)%4) // nearly AT + 4
+		et[i] = 50 - 2*x
+		y[i] = 2 + 0.3*x
+	}
+	d := &Dataset{
+		ResponseName:   "M",
+		Response:       y,
+		PredictorNames: []string{"AT", "PT", "ET"},
+		Predictors:     [][]float64{at, pt, et},
+	}
+	v, err := VIF(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v["AT"] < 10 || v["PT"] < 10 {
+		t.Errorf("collinear AT/PT should have VIF ≥ 10, got %g/%g", v["AT"], v["PT"])
+	}
+}
+
+func TestVIFExactCollinearityIsInf(t *testing.T) {
+	d := &Dataset{
+		ResponseName:   "y",
+		Response:       []float64{1, 2, 3, 4, 5},
+		PredictorNames: []string{"a", "b"},
+		Predictors: [][]float64{
+			{1, 2, 3, 4, 5},
+			{2, 4, 6, 8, 10}, // exactly 2a
+		},
+	}
+	v, err := VIF(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(v["a"], 1) || !math.IsInf(v["b"], 1) {
+		t.Errorf("exact collinearity should give infinite VIF, got %v", v)
+	}
+}
+
+func TestVIFNeedsTwoPredictors(t *testing.T) {
+	d := &Dataset{
+		ResponseName:   "y",
+		Response:       []float64{1, 2, 3},
+		PredictorNames: []string{"a"},
+		Predictors:     [][]float64{{1, 2, 3}},
+	}
+	if _, err := VIF(d); err == nil {
+		t.Error("VIF with one predictor should error")
+	}
+}
+
+func TestCorrelations(t *testing.T) {
+	d := &Dataset{
+		ResponseName:   "y",
+		Response:       []float64{1, 2, 3, 4},
+		PredictorNames: []string{"up", "down"},
+		Predictors: [][]float64{
+			{2, 4, 6, 8},
+			{8, 6, 4, 2},
+		},
+	}
+	c, err := Correlations(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := c.Of("y", "up"); math.Abs(r-1) > 1e-12 {
+		t.Errorf("corr(y, up) = %g, want 1", r)
+	}
+	if r, _ := c.Of("y", "down"); math.Abs(r+1) > 1e-12 {
+		t.Errorf("corr(y, down) = %g, want -1", r)
+	}
+	if r, _ := c.Of("up", "up"); r != 1 {
+		t.Errorf("diagonal = %g", r)
+	}
+	if _, err := c.Of("y", "zz"); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+func TestConfInt(t *testing.T) {
+	d := &Dataset{
+		ResponseName:   "y",
+		Response:       []float64{2.1, 3.9, 6.2, 7.8, 10.1},
+		PredictorNames: []string{"x"},
+		Predictors:     [][]float64{{1, 2, 3, 4, 5}},
+	}
+	m, err := Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := m.ConfInt("x", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slope 1.99, SE 0.059722, t(0.975, 3) ≈ 3.1824:
+	// CI ≈ 1.99 ± 0.19006.
+	if math.Abs(lo-(1.99-0.19006)) > 1e-3 || math.Abs(hi-(1.99+0.19006)) > 1e-3 {
+		t.Errorf("CI = [%g, %g], want ≈[1.7999, 2.1801]", lo, hi)
+	}
+	if lo >= hi {
+		t.Error("interval inverted")
+	}
+	if _, _, err := m.ConfInt("zz", 0.05); err == nil {
+		t.Error("unknown coefficient should error")
+	}
+	if _, _, err := m.ConfInt("x", 1.5); err == nil {
+		t.Error("invalid alpha should error")
+	}
+}
+
+// The profiling-shaped collinearity story end to end: in a dataset where
+// PT tracks AT and EC tracks ET, VIF flags PT/EC and the reduced model
+// keeps its significance.
+func TestCollinearityWorkflow(t *testing.T) {
+	n := 16
+	ds := &Dataset{
+		ResponseName:   "M",
+		PredictorNames: []string{"AT", "ET", "PT", "EC"},
+		Predictors:     make([][]float64, 4),
+	}
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		jit := float64((i*5)%3) / 5
+		at := 82 + 0.6*x + jit
+		et := 60 - 2.2*x + 0.05*x*x
+		ds.Response = append(ds.Response, 2+0.35*x+jit/3)
+		ds.Predictors[0] = append(ds.Predictors[0], at)
+		ds.Predictors[1] = append(ds.Predictors[1], et)
+		ds.Predictors[2] = append(ds.Predictors[2], at+4+jit/2)
+		ds.Predictors[3] = append(ds.Predictors[3], 9*et+30+jit)
+	}
+	v, err := VIF(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v["PT"] < 5 || v["EC"] < 5 {
+		t.Errorf("PT/EC should be flagged collinear: VIF %g/%g", v["PT"], v["EC"])
+	}
+	reduced, err := ds.Select("AT", "ET")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(reduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RSquared < 0.9 {
+		t.Errorf("reduced model R² = %g, want > 0.9", m.RSquared)
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"teem/internal/mapping"
+	"teem/internal/soc"
+	"teem/internal/thermal"
+	"teem/internal/workload"
+)
+
+// BenchmarkEngineSecond measures one second of co-simulation (100 ticks of
+// workload + power + thermal + metering).
+func BenchmarkEngineSecond(b *testing.B) {
+	cfg := Config{
+		Platform: soc.Exynos5422(),
+		Net:      thermal.Exynos5422Network(),
+		App:      workload.Covariance(),
+		Map:      mapping.Mapping{Big: 3, Little: 2, UseGPU: true},
+		Part:     mapping.Partition{Num: 4, Den: 8},
+		MaxTimeS: 1.0,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunWarmCovariance measures a complete steady-regime protocol
+// run of the Fig. 1 configuration.
+func BenchmarkRunWarmCovariance(b *testing.B) {
+	cfg := Config{
+		Platform: soc.Exynos5422(),
+		Net:      thermal.Exynos5422Network(),
+		App:      workload.Covariance(),
+		Map:      mapping.Mapping{Big: 3, Little: 2, UseGPU: true},
+		Part:     mapping.Partition{Num: 4, Den: 8},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunWarm(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

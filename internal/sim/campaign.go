@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"teem/internal/mapping"
+	"teem/internal/power"
+	"teem/internal/soc"
+	"teem/internal/thermal"
+	"teem/internal/workload"
+)
+
+// A campaign is a sequence of application runs executed back to back on
+// the same chip, with the thermal state carried across job boundaries and
+// optional idle gaps between them — the situation the paper's measurement
+// protocol (and any real device) lives in. Later jobs start hotter, so
+// thermally blind policies degrade as a campaign progresses while TEEM
+// keeps regulating.
+
+// Job is one campaign entry.
+type Job struct {
+	// App, Map, Part and Freq configure the run like Config does.
+	App  *workload.App
+	Map  mapping.Mapping
+	Part mapping.Partition
+	Freq mapping.FreqSetting
+	// Governor drives DVFS for this job (each job gets its own
+	// instance; governors are stateful).
+	Governor Governor
+	// HotplugUnused powers down unused cores for this job.
+	HotplugUnused bool
+}
+
+// CampaignConfig carries the shared platform and pacing.
+type CampaignConfig struct {
+	// Platform and Net are the shared hardware (required).
+	Platform *soc.Platform
+	Net      *thermal.Network
+	// GapS is the idle time between consecutive jobs (default 0).
+	GapS float64
+	// TickS, MaxTimeS and PkgBaselineFrac default like Config.
+	TickS           float64
+	MaxTimeS        float64
+	PkgBaselineFrac float64
+	// InitialTempsC presets the chip state before the first job
+	// (default: ambient — a cold campaign start).
+	InitialTempsC []float64
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	// Jobs holds the per-job results in execution order.
+	Jobs []*Result
+	// TotalTimeS is the summed execution time (gaps excluded);
+	// TotalEnergyJ the summed measured energy (gap energy excluded).
+	TotalTimeS   float64
+	TotalEnergyJ float64
+	// PeakTempC is the campaign-wide big-cluster peak.
+	PeakTempC float64
+	// FinalTempsC is the chip state after the last job.
+	FinalTempsC []float64
+}
+
+// RunCampaign executes the jobs in order, carrying the thermal state.
+func RunCampaign(cc CampaignConfig, jobs []Job) (*CampaignResult, error) {
+	if cc.Platform == nil || cc.Net == nil {
+		return nil, errors.New("sim: campaign needs Platform and Net")
+	}
+	if len(jobs) == 0 {
+		return nil, errors.New("sim: campaign has no jobs")
+	}
+	if cc.GapS < 0 {
+		return nil, errors.New("sim: negative campaign gap")
+	}
+	temps := cc.InitialTempsC
+	out := &CampaignResult{}
+	for i, j := range jobs {
+		cfg := Config{
+			Platform:        cc.Platform,
+			Net:             cc.Net,
+			App:             j.App,
+			Map:             j.Map,
+			Part:            j.Part,
+			Freq:            j.Freq,
+			Governor:        j.Governor,
+			HotplugUnused:   j.HotplugUnused,
+			TickS:           cc.TickS,
+			MaxTimeS:        cc.MaxTimeS,
+			PkgBaselineFrac: cc.PkgBaselineFrac,
+			InitialTempsC:   temps,
+		}
+		e, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: campaign job %d (%s): %w", i, j.App.Name, err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			return nil, fmt.Errorf("sim: campaign job %d (%s): %w", i, j.App.Name, err)
+		}
+		out.Jobs = append(out.Jobs, res)
+		out.TotalTimeS += res.ExecTimeS
+		out.TotalEnergyJ += res.EnergyJ
+		if res.PeakTempC > out.PeakTempC {
+			out.PeakTempC = res.PeakTempC
+		}
+		temps = e.FinalTemps()
+		// Idle gap: the chip cools with all clusters idle.
+		if cc.GapS > 0 && i < len(jobs)-1 {
+			temps, err = coolDown(cc, temps, cc.GapS)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	out.FinalTempsC = temps
+	return out, nil
+}
+
+// coolDown advances the thermal state through an idle period.
+func coolDown(cc CampaignConfig, temps []float64, gapS float64) ([]float64, error) {
+	tm, err := thermal.NewModel(cc.Net, cc.Platform.AmbientC)
+	if err != nil {
+		return nil, err
+	}
+	if err := tm.SetTemps(temps); err != nil {
+		return nil, err
+	}
+	pm, err := power.NewModel(cc.Platform)
+	if err != nil {
+		return nil, err
+	}
+	frac := cc.PkgBaselineFrac
+	if frac == 0 {
+		frac = 0.5
+	}
+	pkg := cc.Net.NodeIndex("pkg")
+	// Idle leakage at the current temperatures, stepped at 100 ms.
+	for t := 0.0; t < gapS; t += 0.1 {
+		loads := power.IdleLoads(cc.Platform, tm.Temp(0))
+		for i := range loads {
+			node := cc.Net.NodeIndex(cc.Platform.Clusters[i].Name)
+			if node >= 0 {
+				loads[i].TempC = tm.Temp(node)
+			}
+		}
+		bd, err := pm.Evaluate(loads, 0)
+		if err != nil {
+			return nil, err
+		}
+		inj := make([]float64, len(cc.Net.Nodes))
+		for i := range cc.Platform.Clusters {
+			node := cc.Net.NodeIndex(cc.Platform.Clusters[i].Name)
+			if node >= 0 {
+				inj[node] += bd.ClusterW(i)
+			}
+		}
+		if pkg >= 0 {
+			inj[pkg] += frac * bd.BaselineW
+		}
+		if err := tm.Step(inj, 0.1); err != nil {
+			return nil, err
+		}
+	}
+	return tm.Temps(), nil
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"teem/internal/mapping"
+	"teem/internal/soc"
+	"teem/internal/thermal"
+	"teem/internal/workload"
+)
+
+func campaignConfig() CampaignConfig {
+	return CampaignConfig{
+		Platform: soc.Exynos5422(),
+		Net:      thermal.Exynos5422Network(),
+	}
+}
+
+func job(app *workload.App) Job {
+	return Job{
+		App:  app,
+		Map:  mapping.Mapping{Big: 3, Little: 2, UseGPU: true},
+		Part: mapping.Partition{Num: 4, Den: 8},
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := RunCampaign(CampaignConfig{}, []Job{job(workload.Covariance())}); err == nil {
+		t.Error("campaign without platform should error")
+	}
+	if _, err := RunCampaign(campaignConfig(), nil); err == nil {
+		t.Error("empty campaign should error")
+	}
+	cc := campaignConfig()
+	cc.GapS = -1
+	if _, err := RunCampaign(cc, []Job{job(workload.Covariance())}); err == nil {
+		t.Error("negative gap should error")
+	}
+}
+
+// Thermal carry-over: the second identical job starts hotter and so runs
+// hotter on average than the first when unmanaged.
+func TestCampaignThermalCarryOver(t *testing.T) {
+	jobs := []Job{job(workload.Covariance()), job(workload.Covariance())}
+	res, err := RunCampaign(campaignConfig(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("got %d job results", len(res.Jobs))
+	}
+	if res.Jobs[1].AvgTempC <= res.Jobs[0].AvgTempC {
+		t.Errorf("second job avg %.1f should exceed first %.1f (carry-over)",
+			res.Jobs[1].AvgTempC, res.Jobs[0].AvgTempC)
+	}
+	if res.TotalTimeS <= 0 || res.TotalEnergyJ <= 0 {
+		t.Error("totals not aggregated")
+	}
+	if res.PeakTempC < res.Jobs[0].PeakTempC || res.PeakTempC < res.Jobs[1].PeakTempC {
+		t.Error("campaign peak below a job peak")
+	}
+	if len(res.FinalTempsC) != 4 {
+		t.Errorf("final temps %v", res.FinalTempsC)
+	}
+}
+
+// An idle gap between jobs cools the chip: with a long gap the second job
+// starts cooler than with no gap.
+func TestCampaignGapCools(t *testing.T) {
+	jobs := []Job{job(workload.Covariance()), job(workload.Covariance())}
+
+	noGap, err := RunCampaign(campaignConfig(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := campaignConfig()
+	cc.GapS = 60
+	gap, err := RunCampaign(cc, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap.Jobs[1].AvgTempC >= noGap.Jobs[1].AvgTempC {
+		t.Errorf("gap run avg %.1f should be cooler than back-to-back %.1f",
+			gap.Jobs[1].AvgTempC, noGap.Jobs[1].AvgTempC)
+	}
+}
+
+// A mixed campaign under TEEM control keeps every job inside the
+// regulation band despite the carry-over.
+func TestCampaignRegulated(t *testing.T) {
+	mk := func(app *workload.App) Job {
+		j := job(app)
+		j.Governor = &floorGov{}
+		return j
+	}
+	jobs := []Job{mk(workload.Covariance()), mk(workload.Syrk()), mk(workload.Mvt())}
+	res, err := RunCampaign(campaignConfig(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range res.Jobs {
+		if jr.ThrottleEvents != 0 {
+			t.Errorf("job %d tripped the TMU under regulation", i)
+		}
+	}
+}
+
+// floorGov is a minimal thermally safe governor for the campaign test:
+// it pins the big cluster at 1400 MHz (the TEEM floor) and everything
+// else at max, without importing internal/core (import cycle).
+type floorGov struct{}
+
+func (floorGov) Name() string     { return "floor" }
+func (floorGov) PeriodS() float64 { return 0.5 }
+func (floorGov) Start(m Machine) error {
+	if err := m.SetClusterFreqMHz("A15", 1400); err != nil {
+		return err
+	}
+	if err := m.SetClusterFreqMHz("A7", 1400); err != nil {
+		return err
+	}
+	return m.SetClusterFreqMHz("MaliT628", 600)
+}
+func (floorGov) Act(m Machine) error {
+	return m.SetClusterFreqMHz("A15", 1400)
+}

@@ -1,0 +1,126 @@
+package soc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Platform descriptions are plain data, so they serialise directly: a
+// downstream user can define custom hardware in a JSON file and load it at
+// runtime (teemsim -platform custom.json) instead of recompiling.
+
+// jsonCluster mirrors Cluster with explicit JSON tags and a string kind.
+type jsonCluster struct {
+	Name          string    `json:"name"`
+	Kind          string    `json:"kind"` // "big", "LITTLE", "GPU"
+	NumCores      int       `json:"num_cores"`
+	OPPs          []jsonOPP `json:"opps"`
+	CdynCoreNF    float64   `json:"cdyn_core_nf"`
+	LeakCoeff     float64   `json:"leak_coeff"`
+	LeakTempCoeff float64   `json:"leak_temp_coeff"`
+}
+
+type jsonOPP struct {
+	FreqMHz int     `json:"freq_mhz"`
+	VoltV   float64 `json:"volt_v"`
+}
+
+type jsonPlatform struct {
+	Name            string        `json:"name"`
+	Clusters        []jsonCluster `json:"clusters"`
+	BoardBaselineW  float64       `json:"board_baseline_w"`
+	DRAMPowerPerGBs float64       `json:"dram_power_per_gbs"`
+	AmbientC        float64       `json:"ambient_c"`
+	TripC           float64       `json:"trip_c"`
+	TripReleaseC    float64       `json:"trip_release_c"`
+	TripCapMHz      int           `json:"trip_cap_mhz"`
+}
+
+func kindToString(k ClusterKind) string { return k.String() }
+
+func kindFromString(s string) (ClusterKind, error) {
+	switch s {
+	case "big":
+		return BigCPU, nil
+	case "LITTLE":
+		return LittleCPU, nil
+	case "GPU":
+		return GPU, nil
+	default:
+		return 0, fmt.Errorf("soc: unknown cluster kind %q (want big, LITTLE or GPU)", s)
+	}
+}
+
+// Save writes the platform as indented JSON.
+func (p *Platform) Save(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	jp := jsonPlatform{
+		Name:            p.Name,
+		BoardBaselineW:  p.BoardBaselineW,
+		DRAMPowerPerGBs: p.DRAMPowerPerGBs,
+		AmbientC:        p.AmbientC,
+		TripC:           p.TripC,
+		TripReleaseC:    p.TripReleaseC,
+		TripCapMHz:      p.TripCapMHz,
+	}
+	for i := range p.Clusters {
+		c := &p.Clusters[i]
+		jc := jsonCluster{
+			Name:          c.Name,
+			Kind:          kindToString(c.Kind),
+			NumCores:      c.NumCores,
+			CdynCoreNF:    c.CdynCoreNF,
+			LeakCoeff:     c.LeakCoeff,
+			LeakTempCoeff: c.LeakTempCoeff,
+		}
+		for _, o := range c.OPPs {
+			jc.OPPs = append(jc.OPPs, jsonOPP{FreqMHz: o.FreqMHz, VoltV: o.VoltV})
+		}
+		jp.Clusters = append(jp.Clusters, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jp)
+}
+
+// LoadPlatform reads and validates a platform from JSON.
+func LoadPlatform(r io.Reader) (*Platform, error) {
+	var jp jsonPlatform
+	if err := json.NewDecoder(r).Decode(&jp); err != nil {
+		return nil, fmt.Errorf("soc: decoding platform: %w", err)
+	}
+	p := &Platform{
+		Name:            jp.Name,
+		BoardBaselineW:  jp.BoardBaselineW,
+		DRAMPowerPerGBs: jp.DRAMPowerPerGBs,
+		AmbientC:        jp.AmbientC,
+		TripC:           jp.TripC,
+		TripReleaseC:    jp.TripReleaseC,
+		TripCapMHz:      jp.TripCapMHz,
+	}
+	for _, jc := range jp.Clusters {
+		kind, err := kindFromString(jc.Kind)
+		if err != nil {
+			return nil, err
+		}
+		c := Cluster{
+			Name:          jc.Name,
+			Kind:          kind,
+			NumCores:      jc.NumCores,
+			CdynCoreNF:    jc.CdynCoreNF,
+			LeakCoeff:     jc.LeakCoeff,
+			LeakTempCoeff: jc.LeakTempCoeff,
+		}
+		for _, o := range jc.OPPs {
+			c.OPPs = append(c.OPPs, OPP{FreqMHz: o.FreqMHz, VoltV: o.VoltV})
+		}
+		p.Clusters = append(p.Clusters, c)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,46 @@
+package soc
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPlatformJSONRoundTrip(t *testing.T) {
+	for _, orig := range []*Platform{Exynos5422(), Exynos5410()} {
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		loaded, err := LoadPlatform(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if !reflect.DeepEqual(orig, loaded) {
+			t.Errorf("%s: round trip not identical", orig.Name)
+		}
+	}
+}
+
+func TestLoadPlatformRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`{"name":"x","clusters":[{"name":"c","kind":"weird","num_cores":1,"opps":[{"freq_mhz":100,"volt_v":1}],"cdyn_core_nf":1}],"trip_c":90,"trip_release_c":85}`,
+		`{"name":"","clusters":[]}`, // fails Validate
+	}
+	for i, c := range cases {
+		if _, err := LoadPlatform(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: accepted invalid platform", i)
+		}
+	}
+}
+
+func TestSaveRejectsInvalidPlatform(t *testing.T) {
+	p := Exynos5422()
+	p.Name = ""
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err == nil {
+		t.Error("Save should validate first")
+	}
+}

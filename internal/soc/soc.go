@@ -1,0 +1,300 @@
+// Package soc describes heterogeneous multiprocessor system-on-chip (MPSoC)
+// platforms: clusters of cores, their operating performance points (OPPs),
+// cluster-wise DVFS constraints and sensor placement.
+//
+// The package is a pure description layer: it owns no simulation state.
+// The canonical platform is the Samsung Exynos 5422 used by the Odroid-XU4
+// board (see Exynos5422), the evaluation target of the TEEM paper, but any
+// CPU-GPU MPSoC can be described.
+package soc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ClusterKind distinguishes the micro-architectural role of a cluster.
+type ClusterKind int
+
+const (
+	// BigCPU marks a high-performance out-of-order CPU cluster
+	// (e.g. ARM Cortex-A15).
+	BigCPU ClusterKind = iota
+	// LittleCPU marks an energy-efficient in-order CPU cluster
+	// (e.g. ARM Cortex-A7).
+	LittleCPU
+	// GPU marks a programmable graphics/compute cluster
+	// (e.g. ARM Mali-T628).
+	GPU
+)
+
+// String returns the conventional short name of the cluster kind.
+func (k ClusterKind) String() string {
+	switch k {
+	case BigCPU:
+		return "big"
+	case LittleCPU:
+		return "LITTLE"
+	case GPU:
+		return "GPU"
+	default:
+		return fmt.Sprintf("ClusterKind(%d)", int(k))
+	}
+}
+
+// OPP is a single operating performance point: a frequency and the supply
+// voltage required to sustain it.
+type OPP struct {
+	// FreqMHz is the clock frequency in MHz.
+	FreqMHz int
+	// VoltV is the supply voltage in volts.
+	VoltV float64
+}
+
+// Cluster describes one voltage/frequency island of the SoC. All cores of a
+// cluster share a clock and a voltage rail (cluster-wise DVFS), as on the
+// Exynos 5422.
+type Cluster struct {
+	// Name is a short identifier, e.g. "A15", "A7", "MaliT628".
+	Name string
+	// Kind is the micro-architectural role.
+	Kind ClusterKind
+	// NumCores is the number of cores (CPU) or shader cores (GPU).
+	NumCores int
+	// OPPs is the table of supported operating points, sorted by
+	// ascending frequency.
+	OPPs []OPP
+
+	// CdynCoreNF is the effective switched capacitance of one fully
+	// active core in nanofarads; dynamic power of a core is
+	// Cdyn·V²·f·activity.
+	CdynCoreNF float64
+	// LeakCoeff scales the static leakage power of one powered core
+	// (watts at nominal voltage and 25 °C junction temperature).
+	LeakCoeff float64
+	// LeakTempCoeff is the fractional leakage increase per °C above
+	// 25 °C (super-linear leakage-temperature feedback linearised).
+	LeakTempCoeff float64
+}
+
+// Validate reports an error if the cluster description is internally
+// inconsistent.
+func (c *Cluster) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("soc: cluster has empty name")
+	}
+	if c.NumCores <= 0 {
+		return fmt.Errorf("soc: cluster %s: NumCores must be positive, got %d", c.Name, c.NumCores)
+	}
+	if len(c.OPPs) == 0 {
+		return fmt.Errorf("soc: cluster %s: no OPPs", c.Name)
+	}
+	if !sort.SliceIsSorted(c.OPPs, func(i, j int) bool { return c.OPPs[i].FreqMHz < c.OPPs[j].FreqMHz }) {
+		return fmt.Errorf("soc: cluster %s: OPPs not sorted by frequency", c.Name)
+	}
+	for i, p := range c.OPPs {
+		if p.FreqMHz <= 0 {
+			return fmt.Errorf("soc: cluster %s: OPP %d has non-positive frequency %d", c.Name, i, p.FreqMHz)
+		}
+		if p.VoltV <= 0 {
+			return fmt.Errorf("soc: cluster %s: OPP %d has non-positive voltage %g", c.Name, i, p.VoltV)
+		}
+		if i > 0 && c.OPPs[i-1].FreqMHz == p.FreqMHz {
+			return fmt.Errorf("soc: cluster %s: duplicate OPP frequency %d MHz", c.Name, p.FreqMHz)
+		}
+		if i > 0 && c.OPPs[i-1].VoltV > p.VoltV {
+			return fmt.Errorf("soc: cluster %s: voltage must be non-decreasing with frequency (OPP %d)", c.Name, i)
+		}
+	}
+	if c.CdynCoreNF <= 0 {
+		return fmt.Errorf("soc: cluster %s: CdynCoreNF must be positive", c.Name)
+	}
+	if c.LeakCoeff < 0 || c.LeakTempCoeff < 0 {
+		return fmt.Errorf("soc: cluster %s: leakage coefficients must be non-negative", c.Name)
+	}
+	return nil
+}
+
+// MinFreqMHz returns the lowest supported frequency.
+func (c *Cluster) MinFreqMHz() int { return c.OPPs[0].FreqMHz }
+
+// MaxFreqMHz returns the highest supported frequency.
+func (c *Cluster) MaxFreqMHz() int { return c.OPPs[len(c.OPPs)-1].FreqMHz }
+
+// NumOPPs returns the number of operating points.
+func (c *Cluster) NumOPPs() int { return len(c.OPPs) }
+
+// OPPIndex returns the index of the OPP with exactly the given frequency,
+// or -1 if the frequency is not a supported operating point.
+func (c *Cluster) OPPIndex(freqMHz int) int {
+	for i, p := range c.OPPs {
+		if p.FreqMHz == freqMHz {
+			return i
+		}
+	}
+	return -1
+}
+
+// NearestOPP returns the supported OPP closest to the requested frequency,
+// preferring the lower one on ties (conservative for thermal headroom).
+func (c *Cluster) NearestOPP(freqMHz int) OPP {
+	best := c.OPPs[0]
+	bestD := abs(best.FreqMHz - freqMHz)
+	for _, p := range c.OPPs[1:] {
+		if d := abs(p.FreqMHz - freqMHz); d < bestD {
+			best, bestD = p, d
+		}
+	}
+	return best
+}
+
+// FloorOPP returns the highest OPP whose frequency does not exceed freqMHz.
+// If freqMHz is below the minimum OPP, the minimum OPP is returned.
+func (c *Cluster) FloorOPP(freqMHz int) OPP {
+	best := c.OPPs[0]
+	for _, p := range c.OPPs {
+		if p.FreqMHz <= freqMHz {
+			best = p
+		}
+	}
+	return best
+}
+
+// CeilOPP returns the lowest OPP whose frequency is at least freqMHz.
+// If freqMHz is above the maximum OPP, the maximum OPP is returned.
+func (c *Cluster) CeilOPP(freqMHz int) OPP {
+	for _, p := range c.OPPs {
+		if p.FreqMHz >= freqMHz {
+			return p
+		}
+	}
+	return c.OPPs[len(c.OPPs)-1]
+}
+
+// StepDown returns the OPP delta MHz below the given frequency, clamped to
+// the cluster minimum and snapped to a supported point. This implements the
+// paper's "reduce the frequency level of the A15 core by a delta value".
+func (c *Cluster) StepDown(freqMHz, deltaMHz int) OPP {
+	return c.FloorOPP(freqMHz - deltaMHz)
+}
+
+// VoltageAt returns the rail voltage required for the given frequency,
+// snapping up to the next supported OPP.
+func (c *Cluster) VoltageAt(freqMHz int) float64 {
+	return c.CeilOPP(freqMHz).VoltV
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Platform is a complete MPSoC description.
+type Platform struct {
+	// Name identifies the SoC, e.g. "Exynos5422".
+	Name string
+	// Clusters lists the voltage/frequency islands. By convention CPU
+	// clusters come first; use FindCluster or the Kind helpers for
+	// order-independent access.
+	Clusters []Cluster
+	// BoardBaselineW is the constant power draw of the rest of the
+	// board (regulators, memory at idle, peripherals) in watts, as seen
+	// by a board-level power meter such as the Odroid Smart Power 2.
+	BoardBaselineW float64
+	// DRAMPowerPerGBs is the additional power in watts per GB/s of
+	// memory traffic generated by the workload.
+	DRAMPowerPerGBs float64
+	// AmbientC is the ambient temperature in °C used by thermal models.
+	AmbientC float64
+	// TripC is the hardware thermal protection trip point in °C: when a
+	// sensor reaches it the affected cluster is throttled by the
+	// hardware regardless of software policy.
+	TripC float64
+	// TripReleaseC is the temperature below which hardware throttling is
+	// released (hysteresis).
+	TripReleaseC float64
+	// TripCapMHz is the frequency cap applied by hardware protection to
+	// the big CPU cluster (900 MHz on the stock Exynos 5422 firmware).
+	TripCapMHz int
+}
+
+// Validate reports an error if the platform description is inconsistent.
+func (p *Platform) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("soc: platform has empty name")
+	}
+	if len(p.Clusters) == 0 {
+		return fmt.Errorf("soc: platform %s: no clusters", p.Name)
+	}
+	seen := make(map[string]bool, len(p.Clusters))
+	for i := range p.Clusters {
+		c := &p.Clusters[i]
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("soc: platform %s: duplicate cluster name %q", p.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if p.TripC <= p.TripReleaseC {
+		return fmt.Errorf("soc: platform %s: TripC (%g) must exceed TripReleaseC (%g)", p.Name, p.TripC, p.TripReleaseC)
+	}
+	if p.BoardBaselineW < 0 || p.DRAMPowerPerGBs < 0 {
+		return fmt.Errorf("soc: platform %s: negative board power coefficients", p.Name)
+	}
+	return nil
+}
+
+// FindCluster returns the cluster with the given name, or nil.
+func (p *Platform) FindCluster(name string) *Cluster {
+	for i := range p.Clusters {
+		if p.Clusters[i].Name == name {
+			return &p.Clusters[i]
+		}
+	}
+	return nil
+}
+
+// ClusterIndex returns the index of the named cluster, or -1.
+func (p *Platform) ClusterIndex(name string) int {
+	for i := range p.Clusters {
+		if p.Clusters[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FirstOfKind returns the first cluster of the given kind, or nil.
+func (p *Platform) FirstOfKind(k ClusterKind) *Cluster {
+	for i := range p.Clusters {
+		if p.Clusters[i].Kind == k {
+			return &p.Clusters[i]
+		}
+	}
+	return nil
+}
+
+// Big returns the big CPU cluster (nil if the platform has none).
+func (p *Platform) Big() *Cluster { return p.FirstOfKind(BigCPU) }
+
+// Little returns the LITTLE CPU cluster (nil if the platform has none).
+func (p *Platform) Little() *Cluster { return p.FirstOfKind(LittleCPU) }
+
+// GPU returns the GPU cluster (nil if the platform has none).
+func (p *Platform) GPU() *Cluster { return p.FirstOfKind(GPU) }
+
+// TotalCPUCores returns the number of CPU cores across big and LITTLE
+// clusters.
+func (p *Platform) TotalCPUCores() int {
+	n := 0
+	for i := range p.Clusters {
+		if p.Clusters[i].Kind == BigCPU || p.Clusters[i].Kind == LittleCPU {
+			n += p.Clusters[i].NumCores
+		}
+	}
+	return n
+}

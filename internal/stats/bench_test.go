@@ -1,0 +1,18 @@
+package stats
+
+import "testing"
+
+// BenchmarkTTestPValue measures the two-sided t-test p-value (one
+// regression coefficient row).
+func BenchmarkTTestPValue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TTestPValue(-2.76, 12)
+	}
+}
+
+// BenchmarkFTestPValue measures the regression overall-F p-value.
+func BenchmarkFTestPValue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		FTestPValue(20.98, 4, 12)
+	}
+}

@@ -1,0 +1,35 @@
+package thermal
+
+import "testing"
+
+// BenchmarkStep measures one 10 ms simulation step of the Exynos network
+// (the inner loop of every co-simulation tick).
+func BenchmarkStep(b *testing.B) {
+	m, err := NewModel(Exynos5422Network(), 28)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := []float64{4.5, 0.4, 2.6, 1.85}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(p, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyState measures the direct equilibrium solve used by the
+// analytic design-point evaluator.
+func BenchmarkSteadyState(b *testing.B) {
+	m, err := NewModel(Exynos5422Network(), 28)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := []float64{4.5, 0.4, 2.6, 1.85}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SteadyState(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

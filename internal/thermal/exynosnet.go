@@ -1,0 +1,37 @@
+package thermal
+
+// Exynos5422Network returns the lumped RC topology calibrated for the
+// Exynos 5422 die as mounted on the Odroid-XU4 (PoP DRAM stacked on the
+// SoC, small heatsink with fan).
+//
+// Node 0: A15 big cluster, node 1: A7 LITTLE cluster, node 2: Mali-T628
+// GPU, node 3: package/substrate (also receives DRAM and regulator heat).
+//
+// Calibration targets (with the power model of internal/power, COVARIANCE
+// -class load: 3 big cores + GPU + 2 LITTLE cores, ambient 28 °C):
+//
+//   - big at 2000 MHz: steady state well above the 95 °C trip (~105 °C),
+//     so sustained max frequency is impossible — the paper's Fig. 1(a);
+//   - big at 1400 MHz: steady ≈ 85 °C — why 1400 MHz is TEEM's floor;
+//   - big at 900 MHz (throttled): steady ≈ 75–80 °C, so a throttled chip
+//     cools below the 90 °C release point and the ondemand sawtooth forms;
+//   - GPU at 600 MHz: ≈ 75–85 °C, never tripping on its own.
+func Exynos5422Network() *Network {
+	return &Network{
+		Nodes: []Node{
+			{Name: "A15", HeatCapJ: 1.2},
+			{Name: "A7", HeatCapJ: 0.6},
+			{Name: "MaliT628", HeatCapJ: 1.5},
+			{Name: "pkg", HeatCapJ: 1.5},
+		},
+		Links: []Link{
+			{A: 0, B: 3, ResCW: 4.5}, // A15 → pkg
+			{A: 1, B: 3, ResCW: 5.0}, // A7 → pkg
+			{A: 2, B: 3, ResCW: 3.0}, // Mali → pkg
+			{A: 3, B: Ambient, ResCW: 8.2},
+			{A: 0, B: Ambient, ResCW: 60.0}, // local spreading above big
+			{A: 2, B: Ambient, ResCW: 80.0}, // local spreading above GPU
+			{A: 0, B: 2, ResCW: 15.0},       // big–GPU die adjacency
+		},
+	}
+}

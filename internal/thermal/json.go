@@ -1,0 +1,81 @@
+package thermal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Thermal topologies serialise like platforms: custom RC networks can be
+// defined in JSON files and loaded at runtime instead of recompiled.
+
+type jsonNode struct {
+	Name     string  `json:"name"`
+	HeatCapJ float64 `json:"heat_cap_j"`
+}
+
+type jsonLink struct {
+	// A and B name nodes; B == "ambient" couples A to the boundary.
+	A     string  `json:"a"`
+	B     string  `json:"b"`
+	ResCW float64 `json:"res_cw"`
+}
+
+type jsonNetwork struct {
+	Nodes []jsonNode `json:"nodes"`
+	Links []jsonLink `json:"links"`
+}
+
+// Save writes the network as indented JSON with name-based link endpoints.
+func (n *Network) Save(w io.Writer) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	jn := jsonNetwork{}
+	for _, nd := range n.Nodes {
+		jn.Nodes = append(jn.Nodes, jsonNode{Name: nd.Name, HeatCapJ: nd.HeatCapJ})
+	}
+	for _, l := range n.Links {
+		b := "ambient"
+		if l.B != Ambient {
+			b = n.Nodes[l.B].Name
+		}
+		jn.Links = append(jn.Links, jsonLink{A: n.Nodes[l.A].Name, B: b, ResCW: l.ResCW})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jn)
+}
+
+// LoadNetwork reads and validates an RC network from JSON.
+func LoadNetwork(r io.Reader) (*Network, error) {
+	var jn jsonNetwork
+	if err := json.NewDecoder(r).Decode(&jn); err != nil {
+		return nil, fmt.Errorf("thermal: decoding network: %w", err)
+	}
+	n := &Network{}
+	index := map[string]int{}
+	for i, nd := range jn.Nodes {
+		n.Nodes = append(n.Nodes, Node{Name: nd.Name, HeatCapJ: nd.HeatCapJ})
+		index[nd.Name] = i
+	}
+	for _, l := range jn.Links {
+		a, ok := index[l.A]
+		if !ok {
+			return nil, fmt.Errorf("thermal: link endpoint %q is not a node", l.A)
+		}
+		b := Ambient
+		if l.B != "ambient" {
+			bi, ok := index[l.B]
+			if !ok {
+				return nil, fmt.Errorf("thermal: link endpoint %q is not a node", l.B)
+			}
+			b = bi
+		}
+		n.Links = append(n.Links, Link{A: a, B: b, ResCW: l.ResCW})
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,48 @@
+package thermal
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNetworkJSONRoundTrip(t *testing.T) {
+	orig := Exynos5422Network()
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"ambient"`) {
+		t.Error("ambient links should serialise by name")
+	}
+	loaded, err := LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, loaded) {
+		t.Error("round trip not identical")
+	}
+}
+
+func TestLoadNetworkRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`{"nodes":[{"name":"a","heat_cap_j":1}],"links":[{"a":"zz","b":"ambient","res_cw":1}]}`,
+		`{"nodes":[{"name":"a","heat_cap_j":1}],"links":[{"a":"a","b":"zz","res_cw":1}]}`,
+		`{"nodes":[{"name":"a","heat_cap_j":1}],"links":[]}`, // no ambient path
+	}
+	for i, c := range cases {
+		if _, err := LoadNetwork(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: accepted invalid network", i)
+		}
+	}
+}
+
+func TestNetworkSaveValidates(t *testing.T) {
+	n := &Network{}
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err == nil {
+		t.Error("Save should validate first")
+	}
+}

@@ -1,0 +1,313 @@
+// Package thermal models on-die temperature with a lumped RC network: one
+// node per heat source (CPU clusters, GPU, SoC package) connected by
+// thermal resistances, with the ambient as a fixed-temperature boundary.
+//
+// The integrator is explicit Euler with automatic substepping (stable for
+// any step because substeps are chosen well below the smallest node time
+// constant); a direct linear steady-state solver cross-checks it and powers
+// calibration tests. Sensors mimic the Exynos TMU: per-node readings with
+// optional 1 °C quantisation.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Node is one lumped thermal mass.
+type Node struct {
+	// Name identifies the node, e.g. "A15", "MaliT628", "pkg".
+	Name string
+	// HeatCapJ is the heat capacity in joules per °C.
+	HeatCapJ float64
+}
+
+// Link is a thermal resistance between two nodes, or between a node and the
+// ambient boundary when B < 0.
+type Link struct {
+	// A and B index Network.Nodes; B == Ambient (-1) couples A to the
+	// fixed ambient temperature.
+	A, B int
+	// ResCW is the thermal resistance in °C per watt.
+	ResCW float64
+}
+
+// Ambient is the pseudo-index of the fixed-temperature ambient boundary.
+const Ambient = -1
+
+// Network describes the RC topology.
+type Network struct {
+	Nodes []Node
+	Links []Link
+}
+
+// Validate reports an error on malformed topologies.
+func (n *Network) Validate() error {
+	if len(n.Nodes) == 0 {
+		return errors.New("thermal: network has no nodes")
+	}
+	seen := make(map[string]bool, len(n.Nodes))
+	for i, nd := range n.Nodes {
+		if nd.Name == "" {
+			return fmt.Errorf("thermal: node %d has empty name", i)
+		}
+		if seen[nd.Name] {
+			return fmt.Errorf("thermal: duplicate node name %q", nd.Name)
+		}
+		seen[nd.Name] = true
+		if nd.HeatCapJ <= 0 {
+			return fmt.Errorf("thermal: node %q has non-positive heat capacity", nd.Name)
+		}
+	}
+	grounded := false
+	for i, l := range n.Links {
+		if l.A < 0 || l.A >= len(n.Nodes) {
+			return fmt.Errorf("thermal: link %d endpoint A out of range", i)
+		}
+		if l.B != Ambient && (l.B < 0 || l.B >= len(n.Nodes)) {
+			return fmt.Errorf("thermal: link %d endpoint B out of range", i)
+		}
+		if l.A == l.B {
+			return fmt.Errorf("thermal: link %d is a self loop", i)
+		}
+		if l.ResCW <= 0 {
+			return fmt.Errorf("thermal: link %d has non-positive resistance", i)
+		}
+		if l.B == Ambient {
+			grounded = true
+		}
+	}
+	if !grounded {
+		return errors.New("thermal: no link to ambient; temperatures would diverge")
+	}
+	return nil
+}
+
+// NodeIndex returns the index of the named node, or -1.
+func (n *Network) NodeIndex(name string) int {
+	for i := range n.Nodes {
+		if n.Nodes[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Model integrates node temperatures over time.
+type Model struct {
+	net      *Network
+	ambientC float64
+	temps    []float64
+	// conductance matrix: g[i][j] = 1/R between i and j; gAmb[i] to
+	// ambient. Precomputed from links.
+	g    [][]float64
+	gAmb []float64
+	// maxSubstep is the largest stable Euler step (s).
+	maxSubstep float64
+}
+
+// NewModel builds a model with every node starting at ambient temperature.
+func NewModel(net *Network, ambientC float64) (*Model, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(net.Nodes)
+	m := &Model{
+		net:      net,
+		ambientC: ambientC,
+		temps:    make([]float64, n),
+		g:        make([][]float64, n),
+		gAmb:     make([]float64, n),
+	}
+	for i := range m.g {
+		m.g[i] = make([]float64, n)
+	}
+	for _, l := range net.Links {
+		c := 1 / l.ResCW
+		if l.B == Ambient {
+			m.gAmb[l.A] += c
+		} else {
+			m.g[l.A][l.B] += c
+			m.g[l.B][l.A] += c
+		}
+	}
+	// Stability: explicit Euler needs dt < C_i / Σg_i for every node;
+	// use a 5x margin.
+	minTau := math.Inf(1)
+	for i := range net.Nodes {
+		sum := m.gAmb[i]
+		for j := range net.Nodes {
+			sum += m.g[i][j]
+		}
+		if sum > 0 {
+			if tau := net.Nodes[i].HeatCapJ / sum; tau < minTau {
+				minTau = tau
+			}
+		}
+	}
+	m.maxSubstep = minTau / 5
+	for i := range m.temps {
+		m.temps[i] = ambientC
+	}
+	return m, nil
+}
+
+// Network returns the model topology.
+func (m *Model) Network() *Network { return m.net }
+
+// AmbientC returns the boundary temperature.
+func (m *Model) AmbientC() float64 { return m.ambientC }
+
+// SetAmbientC changes the boundary temperature (e.g. to model the device
+// moving into sunlight); node temperatures are unaffected until stepped.
+func (m *Model) SetAmbientC(t float64) { m.ambientC = t }
+
+// Temps returns a copy of the current node temperatures in °C.
+func (m *Model) Temps() []float64 { return append([]float64(nil), m.temps...) }
+
+// Temp returns the temperature of node i.
+func (m *Model) Temp(i int) float64 { return m.temps[i] }
+
+// SetTemps overwrites the state (e.g. to start a scenario pre-heated).
+func (m *Model) SetTemps(t []float64) error {
+	if len(t) != len(m.temps) {
+		return fmt.Errorf("thermal: SetTemps got %d values, want %d", len(t), len(m.temps))
+	}
+	copy(m.temps, t)
+	return nil
+}
+
+// Reset returns all nodes to ambient.
+func (m *Model) Reset() {
+	for i := range m.temps {
+		m.temps[i] = m.ambientC
+	}
+}
+
+// Step advances the model by dt seconds with the given per-node power
+// injection in watts.
+func (m *Model) Step(powerW []float64, dt float64) error {
+	if len(powerW) != len(m.temps) {
+		return fmt.Errorf("thermal: Step got %d powers, want %d", len(powerW), len(m.temps))
+	}
+	if dt < 0 {
+		return errors.New("thermal: negative time step")
+	}
+	remaining := dt
+	for remaining > 1e-12 {
+		h := m.maxSubstep
+		if h > remaining {
+			h = remaining
+		}
+		m.eulerStep(powerW, h)
+		remaining -= h
+	}
+	return nil
+}
+
+func (m *Model) eulerStep(powerW []float64, h float64) {
+	n := len(m.temps)
+	next := make([]float64, n)
+	for i := 0; i < n; i++ {
+		q := powerW[i]
+		q += m.gAmb[i] * (m.ambientC - m.temps[i])
+		for j := 0; j < n; j++ {
+			if g := m.g[i][j]; g != 0 {
+				q += g * (m.temps[j] - m.temps[i])
+			}
+		}
+		next[i] = m.temps[i] + h*q/m.net.Nodes[i].HeatCapJ
+	}
+	copy(m.temps, next)
+}
+
+// SteadyState solves the equilibrium temperatures for constant power
+// injection without touching the model state.
+func (m *Model) SteadyState(powerW []float64) ([]float64, error) {
+	n := len(m.temps)
+	if len(powerW) != n {
+		return nil, fmt.Errorf("thermal: SteadyState got %d powers, want %d", len(powerW), n)
+	}
+	// G · T = P + gAmb·Tamb, where G is the conductance Laplacian plus
+	// ambient conductances on the diagonal.
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		diag := m.gAmb[i]
+		for j := 0; j < n; j++ {
+			if i != j {
+				a[i][j] = -m.g[i][j]
+				diag += m.g[i][j]
+			}
+		}
+		a[i][i] = diag
+		b[i] = powerW[i] + m.gAmb[i]*m.ambientC
+	}
+	t, err := solveLinear(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// solveLinear solves a·x = b by Gaussian elimination with partial pivoting.
+// The inputs are mutated.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-15 {
+			return nil, errors.New("thermal: singular conductance matrix")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}
+
+// Sensor reads one node's temperature the way firmware sees it.
+type Sensor struct {
+	// Node indexes the network node the sensor is attached to.
+	Node int
+	// QuantizeC rounds readings down to multiples of this many °C;
+	// 0 disables quantisation. The Exynos TMU reports whole degrees.
+	QuantizeC float64
+	// OffsetC is a calibration offset added to readings.
+	OffsetC float64
+}
+
+// Read returns the sensor value for the given model.
+func (s Sensor) Read(m *Model) float64 {
+	t := m.Temp(s.Node) + s.OffsetC
+	if s.QuantizeC > 0 {
+		t = math.Floor(t/s.QuantizeC) * s.QuantizeC
+	}
+	return t
+}

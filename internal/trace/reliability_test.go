@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// sawtooth builds a trace oscillating between lo and hi with the given
+// number of full cycles.
+func sawtooth(t *testing.T, lo, hi float64, cycles int) *Trace {
+	t.Helper()
+	tr := New([]string{"big", "gpu"}, []string{"c"})
+	tm := 0.0
+	add := func(v float64) {
+		if err := tr.Append(Sample{TimeS: tm, TempsC: []float64{v, v - 10}, FreqsMHz: []int{1}}); err != nil {
+			t.Fatal(err)
+		}
+		tm += 1
+	}
+	add(lo)
+	for c := 0; c < cycles; c++ {
+		add((lo + hi) / 2)
+		add(hi)
+		add((lo + hi) / 2)
+		add(lo)
+	}
+	return tr
+}
+
+func TestThermalCyclesSawtooth(t *testing.T) {
+	tr := sawtooth(t, 90, 95, 4)
+	// Four up-down cycles → 8 half-cycle excursions of 5 °C.
+	cs := tr.ThermalCycles(0, 2)
+	if len(cs) != 8 {
+		t.Fatalf("detected %d excursions, want 8", len(cs))
+	}
+	for _, c := range cs {
+		if math.Abs(c.AmplitudeC-5) > 1e-9 {
+			t.Errorf("amplitude %g, want 5", c.AmplitudeC)
+		}
+		if c.EndS <= c.StartS {
+			t.Error("cycle times inverted")
+		}
+	}
+	if got := tr.CycleCount(0, 2); got != 8 {
+		t.Errorf("CycleCount = %d", got)
+	}
+	if got := tr.MeanCycleAmplitude(0, 2); math.Abs(got-5) > 1e-9 {
+		t.Errorf("MeanCycleAmplitude = %g", got)
+	}
+}
+
+func TestThermalCyclesHysteresis(t *testing.T) {
+	tr := sawtooth(t, 90, 95, 4)
+	// A 6 °C hysteresis filters the 5 °C swings entirely.
+	if got := tr.CycleCount(0, 6); got != 0 {
+		t.Errorf("CycleCount with large hysteresis = %d, want 0", got)
+	}
+}
+
+func TestThermalCyclesFlat(t *testing.T) {
+	tr := New([]string{"n"}, []string{"c"})
+	for i := 0; i < 10; i++ {
+		if err := tr.Append(Sample{TimeS: float64(i), TempsC: []float64{85}, FreqsMHz: []int{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.CycleCount(0, 1); got != 0 {
+		t.Errorf("flat trace cycles = %d", got)
+	}
+	if got := tr.MeanCycleAmplitude(0, 1); got != 0 {
+		t.Errorf("flat trace amplitude = %g", got)
+	}
+}
+
+func TestThermalCyclesEdgeCases(t *testing.T) {
+	tr := New([]string{"n"}, []string{"c"})
+	if cs := tr.ThermalCycles(0, 1); cs != nil {
+		t.Error("empty trace should have no cycles")
+	}
+	tr = sawtooth(t, 90, 95, 1)
+	if cs := tr.ThermalCycles(0, 0); cs != nil {
+		t.Error("non-positive hysteresis should return nil")
+	}
+}
+
+func TestSpatialGradient(t *testing.T) {
+	tr := sawtooth(t, 90, 95, 2)
+	// Node 1 tracks node 0 minus 10 by construction.
+	if got := tr.SpatialGradient(0, 1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("SpatialGradient = %g, want 10", got)
+	}
+	if got := tr.MaxSpatialGradient(0, 1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("MaxSpatialGradient = %g, want 10", got)
+	}
+	empty := New([]string{"a", "b"}, nil)
+	if empty.SpatialGradient(0, 1) != 0 || empty.MaxSpatialGradient(0, 1) != 0 {
+		t.Error("empty trace gradients should be 0")
+	}
+}
+
+// The sim-level consequence: TEEM produces far fewer deep thermal cycles
+// than the ondemand sawtooth; verified at the trace level with synthetic
+// shapes here (the experiments package covers the real runs).
+func TestCycleComparisonShape(t *testing.T) {
+	ondemand := sawtooth(t, 88, 95, 6)
+	teem := sawtooth(t, 84.5, 86, 6)
+	// With a 3 °C reliability hysteresis TEEM's wiggle doesn't count.
+	if oc, tc := ondemand.CycleCount(0, 3), teem.CycleCount(0, 3); tc >= oc {
+		t.Errorf("TEEM cycles %d should be below ondemand %d", tc, oc)
+	}
+}

@@ -1,0 +1,257 @@
+// Package trace records simulation time series (temperatures, frequencies,
+// power, utilisation) and derives the evaluation metrics of the TEEM
+// paper: energy, average/peak temperature, temporal thermal variance and
+// gradient, and average effective frequency. It can render series as ASCII
+// charts (for the Fig. 1 style temperature/frequency plots) and export
+// CSV.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"teem/internal/stats"
+)
+
+// Sample is one record of platform state at a point in simulated time.
+type Sample struct {
+	// TimeS is the simulation time in seconds.
+	TimeS float64
+	// TempsC holds one temperature per recorded thermal node.
+	TempsC []float64
+	// FreqsMHz holds one frequency per recorded cluster.
+	FreqsMHz []int
+	// PowerW is the instantaneous board power.
+	PowerW float64
+	// Utils holds per-cluster utilisation in [0,1].
+	Utils []float64
+}
+
+// Trace is a recorded run.
+type Trace struct {
+	// NodeNames labels TempsC entries; ClusterNames labels FreqsMHz and
+	// Utils entries.
+	NodeNames    []string
+	ClusterNames []string
+	Samples      []Sample
+}
+
+// New creates an empty trace with the given series labels.
+func New(nodeNames, clusterNames []string) *Trace {
+	return &Trace{
+		NodeNames:    append([]string(nil), nodeNames...),
+		ClusterNames: append([]string(nil), clusterNames...),
+	}
+}
+
+// Append adds a sample; series lengths must match the labels.
+func (t *Trace) Append(s Sample) error {
+	if len(s.TempsC) != len(t.NodeNames) {
+		return fmt.Errorf("trace: sample has %d temps, want %d", len(s.TempsC), len(t.NodeNames))
+	}
+	if len(s.FreqsMHz) != len(t.ClusterNames) {
+		return fmt.Errorf("trace: sample has %d freqs, want %d", len(s.FreqsMHz), len(t.ClusterNames))
+	}
+	if len(t.Samples) > 0 && s.TimeS < t.Samples[len(t.Samples)-1].TimeS {
+		return errors.New("trace: samples must be appended in time order")
+	}
+	s.TempsC = append([]float64(nil), s.TempsC...)
+	s.FreqsMHz = append([]int(nil), s.FreqsMHz...)
+	s.Utils = append([]float64(nil), s.Utils...)
+	t.Samples = append(t.Samples, s)
+	return nil
+}
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.Samples) }
+
+// Duration returns the covered time span in seconds.
+func (t *Trace) Duration() float64 {
+	if len(t.Samples) < 2 {
+		return 0
+	}
+	return t.Samples[len(t.Samples)-1].TimeS - t.Samples[0].TimeS
+}
+
+// NodeIndex returns the index of a thermal node series, or -1.
+func (t *Trace) NodeIndex(name string) int {
+	for i, n := range t.NodeNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ClusterIndex returns the index of a cluster series, or -1.
+func (t *Trace) ClusterIndex(name string) int {
+	for i, n := range t.ClusterNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Temps returns the temperature series of node index i.
+func (t *Trace) Temps(i int) []float64 {
+	out := make([]float64, len(t.Samples))
+	for k, s := range t.Samples {
+		out[k] = s.TempsC[i]
+	}
+	return out
+}
+
+// Freqs returns the frequency series of cluster index i.
+func (t *Trace) Freqs(i int) []float64 {
+	out := make([]float64, len(t.Samples))
+	for k, s := range t.Samples {
+		out[k] = float64(s.FreqsMHz[i])
+	}
+	return out
+}
+
+// Powers returns the board power series.
+func (t *Trace) Powers() []float64 {
+	out := make([]float64, len(t.Samples))
+	for k, s := range t.Samples {
+		out[k] = s.PowerW
+	}
+	return out
+}
+
+// EnergyJ integrates board power over time with the trapezoid rule.
+func (t *Trace) EnergyJ() float64 {
+	e := 0.0
+	for i := 1; i < len(t.Samples); i++ {
+		dt := t.Samples[i].TimeS - t.Samples[i-1].TimeS
+		e += 0.5 * (t.Samples[i].PowerW + t.Samples[i-1].PowerW) * dt
+	}
+	return e
+}
+
+// AvgTemp returns the time-weighted mean temperature of node i.
+func (t *Trace) AvgTemp(i int) float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	if len(t.Samples) == 1 {
+		return t.Samples[0].TempsC[i]
+	}
+	area := 0.0
+	for k := 1; k < len(t.Samples); k++ {
+		dt := t.Samples[k].TimeS - t.Samples[k-1].TimeS
+		area += 0.5 * (t.Samples[k].TempsC[i] + t.Samples[k-1].TempsC[i]) * dt
+	}
+	d := t.Duration()
+	if d == 0 {
+		return t.Samples[0].TempsC[i]
+	}
+	return area / d
+}
+
+// PeakTemp returns the maximum temperature of node i.
+func (t *Trace) PeakTemp(i int) float64 {
+	peak := math.Inf(-1)
+	for _, s := range t.Samples {
+		if s.TempsC[i] > peak {
+			peak = s.TempsC[i]
+		}
+	}
+	if math.IsInf(peak, -1) {
+		return 0
+	}
+	return peak
+}
+
+// TempVariance returns the sample variance of node i's temperature — the
+// paper's "thermal variance / temporal thermal gradient" headline metric.
+func (t *Trace) TempVariance(i int) float64 {
+	return stats.Variance(t.Temps(i))
+}
+
+// TempGradient returns the mean absolute temperature slope |dT/dt| of node
+// i in °C/s — an alternative thermal-cycling metric.
+func (t *Trace) TempGradient(i int) float64 {
+	if len(t.Samples) < 2 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for k := 1; k < len(t.Samples); k++ {
+		dt := t.Samples[k].TimeS - t.Samples[k-1].TimeS
+		if dt <= 0 {
+			continue
+		}
+		sum += math.Abs(t.Samples[k].TempsC[i]-t.Samples[k-1].TempsC[i]) / dt
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AvgFreqMHz returns the time-weighted mean frequency of cluster i.
+func (t *Trace) AvgFreqMHz(i int) float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	if len(t.Samples) == 1 {
+		return float64(t.Samples[0].FreqsMHz[i])
+	}
+	area := 0.0
+	for k := 1; k < len(t.Samples); k++ {
+		dt := t.Samples[k].TimeS - t.Samples[k-1].TimeS
+		// Frequency holds between samples (zero-order hold).
+		area += float64(t.Samples[k-1].FreqsMHz[i]) * dt
+	}
+	d := t.Duration()
+	if d == 0 {
+		return float64(t.Samples[0].FreqsMHz[i])
+	}
+	return area / d
+}
+
+// WriteCSV emits the trace as CSV with a header row.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("time_s")
+	for _, n := range t.NodeNames {
+		fmt.Fprintf(&b, ",temp_%s_C", n)
+	}
+	for _, n := range t.ClusterNames {
+		fmt.Fprintf(&b, ",freq_%s_MHz", n)
+	}
+	for _, n := range t.ClusterNames {
+		fmt.Fprintf(&b, ",util_%s", n)
+	}
+	b.WriteString(",power_W\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, s := range t.Samples {
+		var row strings.Builder
+		fmt.Fprintf(&row, "%.3f", s.TimeS)
+		for _, v := range s.TempsC {
+			fmt.Fprintf(&row, ",%.3f", v)
+		}
+		for _, v := range s.FreqsMHz {
+			fmt.Fprintf(&row, ",%d", v)
+		}
+		for i := range t.ClusterNames {
+			u := 0.0
+			if i < len(s.Utils) {
+				u = s.Utils[i]
+			}
+			fmt.Fprintf(&row, ",%.3f", u)
+		}
+		fmt.Fprintf(&row, ",%.3f\n", s.PowerW)
+		if _, err := io.WriteString(w, row.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := New([]string{"A15", "MaliT628"}, []string{"A15", "A7"})
+	for i := 0; i < 5; i++ {
+		err := tr.Append(Sample{
+			TimeS:    float64(i),
+			TempsC:   []float64{80 + float64(i), 70},
+			FreqsMHz: []int{2000 - i*100, 1400},
+			PowerW:   10,
+			Utils:    []float64{1, 0.5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestAppendValidation(t *testing.T) {
+	tr := New([]string{"a"}, []string{"c"})
+	if err := tr.Append(Sample{TimeS: 0, TempsC: []float64{1, 2}, FreqsMHz: []int{1}}); err == nil {
+		t.Error("Append should reject wrong temp count")
+	}
+	if err := tr.Append(Sample{TimeS: 0, TempsC: []float64{1}, FreqsMHz: []int{1, 2}}); err == nil {
+		t.Error("Append should reject wrong freq count")
+	}
+	if err := tr.Append(Sample{TimeS: 5, TempsC: []float64{1}, FreqsMHz: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(Sample{TimeS: 4, TempsC: []float64{1}, FreqsMHz: []int{1}}); err == nil {
+		t.Error("Append should reject time going backwards")
+	}
+}
+
+func TestAppendCopiesSlices(t *testing.T) {
+	tr := New([]string{"a"}, []string{"c"})
+	temps := []float64{50}
+	freqs := []int{1000}
+	if err := tr.Append(Sample{TimeS: 0, TempsC: temps, FreqsMHz: freqs}); err != nil {
+		t.Fatal(err)
+	}
+	temps[0] = 99
+	freqs[0] = 1
+	if tr.Samples[0].TempsC[0] != 50 || tr.Samples[0].FreqsMHz[0] != 1000 {
+		t.Error("Append should deep-copy sample slices")
+	}
+}
+
+func TestIndices(t *testing.T) {
+	tr := mkTrace(t)
+	if tr.NodeIndex("MaliT628") != 1 || tr.NodeIndex("zz") != -1 {
+		t.Error("NodeIndex wrong")
+	}
+	if tr.ClusterIndex("A7") != 1 || tr.ClusterIndex("zz") != -1 {
+		t.Error("ClusterIndex wrong")
+	}
+}
+
+func TestDurationAndLen(t *testing.T) {
+	tr := mkTrace(t)
+	if tr.Len() != 5 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Duration() != 4 {
+		t.Errorf("Duration = %g, want 4", tr.Duration())
+	}
+	empty := New(nil, nil)
+	if empty.Duration() != 0 {
+		t.Error("empty trace Duration should be 0")
+	}
+}
+
+func TestEnergyConstantPower(t *testing.T) {
+	tr := mkTrace(t)
+	// 10 W over 4 s = 40 J.
+	if got := tr.EnergyJ(); math.Abs(got-40) > 1e-12 {
+		t.Errorf("EnergyJ = %g, want 40", got)
+	}
+}
+
+func TestAvgAndPeakTemp(t *testing.T) {
+	tr := mkTrace(t)
+	// Linear ramp 80→84: time-weighted mean is 82.
+	if got := tr.AvgTemp(0); math.Abs(got-82) > 1e-12 {
+		t.Errorf("AvgTemp = %g, want 82", got)
+	}
+	if got := tr.PeakTemp(0); got != 84 {
+		t.Errorf("PeakTemp = %g, want 84", got)
+	}
+	if got := tr.AvgTemp(1); got != 70 {
+		t.Errorf("AvgTemp const = %g, want 70", got)
+	}
+}
+
+func TestTempVarianceAndGradient(t *testing.T) {
+	tr := mkTrace(t)
+	// Constant series has zero variance and gradient.
+	if got := tr.TempVariance(1); got != 0 {
+		t.Errorf("constant TempVariance = %g", got)
+	}
+	if got := tr.TempGradient(1); got != 0 {
+		t.Errorf("constant TempGradient = %g", got)
+	}
+	// The ramp changes 1°C/s.
+	if got := tr.TempGradient(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ramp TempGradient = %g, want 1", got)
+	}
+	if got := tr.TempVariance(0); got <= 0 {
+		t.Errorf("ramp TempVariance = %g, want > 0", got)
+	}
+}
+
+func TestAvgFreq(t *testing.T) {
+	tr := mkTrace(t)
+	// Zero-order hold: 2000,1900,1800,1700 each held 1s.
+	want := (2000.0 + 1900 + 1800 + 1700) / 4
+	if got := tr.AvgFreqMHz(0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("AvgFreqMHz = %g, want %g", got, want)
+	}
+	if got := tr.AvgFreqMHz(1); got != 1400 {
+		t.Errorf("AvgFreqMHz const = %g, want 1400", got)
+	}
+}
+
+func TestEmptyTraceMetrics(t *testing.T) {
+	tr := New([]string{"a"}, []string{"c"})
+	if tr.EnergyJ() != 0 || tr.PeakTemp(0) != 0 || tr.AvgTemp(0) != 0 ||
+		tr.TempGradient(0) != 0 || tr.AvgFreqMHz(0) != 0 {
+		t.Error("empty trace metrics should all be zero")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := mkTrace(t)
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("CSV has %d lines, want 6 (header + 5 samples)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time_s,temp_A15_C,temp_MaliT628_C,freq_A15_MHz") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "2000") {
+		t.Errorf("CSV first row = %q", lines[1])
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 1, 2, 3}
+	out := RenderSeries(xs, ys, ChartOptions{Width: 20, Height: 5, Title: "ramp", YLabel: "°C"})
+	if !strings.Contains(out, "ramp") || !strings.Contains(out, "*") || !strings.Contains(out, "°C") {
+		t.Errorf("chart output missing elements:\n%s", out)
+	}
+	if out := RenderSeries(nil, nil, ChartOptions{}); !strings.Contains(out, "empty") {
+		t.Error("empty series should render placeholder")
+	}
+}
+
+func TestRenderTempAndFreq(t *testing.T) {
+	tr := mkTrace(t)
+	out := tr.RenderTempAndFreq("A15", "A15", 40, 8)
+	if !strings.Contains(out, "Temperature A15") || !strings.Contains(out, "Frequency A15") {
+		t.Errorf("combined chart missing sections:\n%s", out)
+	}
+	if out := tr.RenderTempAndFreq("zz", "A15", 40, 8); !strings.Contains(out, "no data") {
+		t.Error("unknown node should render placeholder")
+	}
+}
+
+// Property: energy of a constant-power trace equals P×duration for any
+// sampling pattern.
+func TestEnergyConstantPowerProperty(t *testing.T) {
+	f := func(steps []uint8, praw uint8) bool {
+		if len(steps) == 0 {
+			return true
+		}
+		p := 1 + float64(praw%20)
+		tr := New([]string{"n"}, []string{"c"})
+		tm := 0.0
+		for _, s := range steps {
+			tm += 0.1 + float64(s%50)/100
+			if err := tr.Append(Sample{TimeS: tm, TempsC: []float64{50}, FreqsMHz: []int{1}, PowerW: p}); err != nil {
+				return false
+			}
+		}
+		want := p * tr.Duration()
+		return math.Abs(tr.EnergyJ()-want) < 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AvgTemp lies within [min, max] of the series.
+func TestAvgTempBoundedProperty(t *testing.T) {
+	f := func(temps []uint8) bool {
+		if len(temps) < 2 {
+			return true
+		}
+		tr := New([]string{"n"}, []string{"c"})
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, raw := range temps {
+			v := 20 + float64(raw%80)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			if err := tr.Append(Sample{TimeS: float64(i), TempsC: []float64{v}, FreqsMHz: []int{1}}); err != nil {
+				return false
+			}
+		}
+		avg := tr.AvgTemp(0)
+		return avg >= lo-1e-9 && avg <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

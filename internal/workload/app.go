@@ -1,0 +1,166 @@
+// Package workload models the execution behaviour of the OpenCL Polybench
+// applications used by the TEEM paper (2DCONV, COVARIANCE, CORRELATION,
+// GEMM, 2MM, MVT, SYR2K, SYRK) on CPU-GPU MPSoCs, and additionally ships
+// real Go ports of the kernels (kernels.go) used as load generators and
+// correctness oracles in the examples.
+//
+// The analytic model is a roofline-lite law per work-item and cluster type:
+//
+//	t(f) = (1−m)·t_ref·(f_ref/f) + m·t_ref
+//
+// where t_ref is the per-work-item time at the reference (maximum)
+// frequency and m is the memory-bound fraction that does not scale with
+// clock frequency. Work-items here are macro work-items: each stands for a
+// slab of the real NDRange (the paper partitions 2048 of them, so
+// "partition 1024" means an even CPU/GPU split).
+package workload
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultWorkItems is the NDRange size the paper's partition grains refer
+// to (partition 1024 = even split of 2048).
+const DefaultWorkItems = 2048
+
+// App describes one application's execution characteristics.
+type App struct {
+	// Name is the Polybench name, e.g. "COVARIANCE".
+	Name string
+	// Short is the two-letter code used in the paper's figures.
+	Short string
+	// Class is the benchmark domain (data mining, linear algebra,
+	// stencil, ...).
+	Class string
+	// WorkItems is the total macro work-item count.
+	WorkItems int
+
+	// BigSecPerWI is the per-work-item execution time on one big core
+	// at RefBigMHz.
+	BigSecPerWI float64
+	// LittleSecPerWI is the per-work-item time on one LITTLE core at
+	// RefLittleMHz.
+	LittleSecPerWI float64
+	// GPUSecPerWI is the per-work-item time on one GPU shader core at
+	// RefGPUMHz.
+	GPUSecPerWI float64
+
+	// RefBigMHz, RefLittleMHz, RefGPUMHz anchor the roofline law.
+	RefBigMHz, RefLittleMHz, RefGPUMHz int
+
+	// MemBoundCPU and MemBoundGPU are the memory-bound fractions m in
+	// [0,1) for CPU and GPU execution.
+	MemBoundCPU, MemBoundGPU float64
+
+	// ActivityCPU and ActivityGPU are switching-activity factors in
+	// (0,1] for the power model.
+	ActivityCPU, ActivityGPU float64
+
+	// MemBytesPerWI is the DRAM traffic one work-item generates.
+	MemBytesPerWI float64
+
+	// GPUParallelEff in (0,1] derates multi-shader scaling.
+	GPUParallelEff float64
+}
+
+// Validate reports an error if the app description is inconsistent.
+func (a *App) Validate() error {
+	if a.Name == "" {
+		return errors.New("workload: app has empty name")
+	}
+	if a.WorkItems <= 0 {
+		return fmt.Errorf("workload: %s: WorkItems must be positive", a.Name)
+	}
+	if a.BigSecPerWI <= 0 || a.LittleSecPerWI <= 0 || a.GPUSecPerWI <= 0 {
+		return fmt.Errorf("workload: %s: per-WI times must be positive", a.Name)
+	}
+	if a.RefBigMHz <= 0 || a.RefLittleMHz <= 0 || a.RefGPUMHz <= 0 {
+		return fmt.Errorf("workload: %s: reference frequencies must be positive", a.Name)
+	}
+	if a.MemBoundCPU < 0 || a.MemBoundCPU >= 1 || a.MemBoundGPU < 0 || a.MemBoundGPU >= 1 {
+		return fmt.Errorf("workload: %s: memory-bound fractions must be in [0,1)", a.Name)
+	}
+	if a.ActivityCPU <= 0 || a.ActivityCPU > 1 || a.ActivityGPU <= 0 || a.ActivityGPU > 1 {
+		return fmt.Errorf("workload: %s: activity factors must be in (0,1]", a.Name)
+	}
+	if a.MemBytesPerWI < 0 {
+		return fmt.Errorf("workload: %s: negative memory traffic", a.Name)
+	}
+	if a.GPUParallelEff <= 0 || a.GPUParallelEff > 1 {
+		return fmt.Errorf("workload: %s: GPUParallelEff must be in (0,1]", a.Name)
+	}
+	return nil
+}
+
+// roofline evaluates t(f) for one work-item.
+func roofline(tRef float64, m float64, refMHz, fMHz int) float64 {
+	if fMHz <= 0 {
+		return 0
+	}
+	return (1-m)*tRef*float64(refMHz)/float64(fMHz) + m*tRef
+}
+
+// BigSecAt returns the per-WI time on one big core at fMHz.
+func (a *App) BigSecAt(fMHz int) float64 {
+	return roofline(a.BigSecPerWI, a.MemBoundCPU, a.RefBigMHz, fMHz)
+}
+
+// LittleSecAt returns the per-WI time on one LITTLE core at fMHz.
+func (a *App) LittleSecAt(fMHz int) float64 {
+	return roofline(a.LittleSecPerWI, a.MemBoundCPU, a.RefLittleMHz, fMHz)
+}
+
+// GPUSecAt returns the per-WI time on one shader core at fMHz.
+func (a *App) GPUSecAt(fMHz int) float64 {
+	return roofline(a.GPUSecPerWI, a.MemBoundGPU, a.RefGPUMHz, fMHz)
+}
+
+// CPURate returns the aggregate CPU work-item throughput (WI/s) of nBig big
+// cores at fBig MHz plus nLittle LITTLE cores at fLittle MHz. OpenCL
+// work-group scheduling keeps all cores fed, so rates add.
+func (a *App) CPURate(nBig, nLittle, fBigMHz, fLittleMHz int) float64 {
+	r := 0.0
+	if nBig > 0 && fBigMHz > 0 {
+		r += float64(nBig) / a.BigSecAt(fBigMHz)
+	}
+	if nLittle > 0 && fLittleMHz > 0 {
+		r += float64(nLittle) / a.LittleSecAt(fLittleMHz)
+	}
+	return r
+}
+
+// GPURate returns the GPU work-item throughput (WI/s) with nShaders shader
+// cores at fMHz.
+func (a *App) GPURate(nShaders, fMHz int) float64 {
+	if nShaders <= 0 || fMHz <= 0 {
+		return 0
+	}
+	return a.GPUParallelEff * float64(nShaders) / a.GPUSecAt(fMHz)
+}
+
+// ETCPUOnly returns the execution time of the whole NDRange on the CPU
+// clusters alone (Eq. 3 with WGCPU = 1).
+func (a *App) ETCPUOnly(nBig, nLittle, fBigMHz, fLittleMHz int) float64 {
+	r := a.CPURate(nBig, nLittle, fBigMHz, fLittleMHz)
+	if r == 0 {
+		return 0
+	}
+	return float64(a.WorkItems) / r
+}
+
+// ETGPUOnly returns the execution time of the whole NDRange on the GPU
+// alone — the paper's stored ETGPU (Eq. 8 with WGCPU = 0).
+func (a *App) ETGPUOnly(nShaders, fMHz int) float64 {
+	r := a.GPURate(nShaders, fMHz)
+	if r == 0 {
+		return 0
+	}
+	return float64(a.WorkItems) / r
+}
+
+// MemGBs returns the DRAM traffic in GB/s generated when work-items are
+// processed at the given aggregate rate (WI/s).
+func (a *App) MemGBs(rateWIs float64) float64 {
+	return rateWIs * a.MemBytesPerWI / 1e9
+}

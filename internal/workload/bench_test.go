@@ -1,0 +1,32 @@
+package workload
+
+import "testing"
+
+// BenchmarkGemmKernel measures the real GEMM port at a modest size.
+func BenchmarkGemmKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := NewGemmKernel(96)
+		k.RunRows(0, k.Rows())
+	}
+}
+
+// BenchmarkRunPartitioned measures the concurrent CPU+GPU partitioned
+// execution path.
+func BenchmarkRunPartitioned(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := NewGemmKernel(96)
+		if err := RunPartitioned(k, 0.5, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyticRates measures the roofline model evaluation used every
+// simulation tick.
+func BenchmarkAnalyticRates(b *testing.B) {
+	cv := Covariance()
+	for i := 0; i < b.N; i++ {
+		_ = cv.CPURate(4, 4, 1800, 1200)
+		_ = cv.GPURate(6, 543)
+	}
+}

@@ -1,0 +1,271 @@
+package workload
+
+// Additional Polybench kernels beyond the paper's evaluation set: ATAX,
+// BICG, GESUMMV and 3MM. They are not part of the eight-app catalog but
+// extend the load-generation library with the same row-partitionable
+// contract, and 3MM exercises a three-phase dependency chain (one more
+// than 2MM).
+
+// --- ATAX: y = Aᵀ·(A·x) -------------------------------------------------------
+
+// AtaxKernel is the Polybench ATAX kernel. Phase 1 computes tmp = A·x,
+// phase 2 accumulates y = Aᵀ·tmp with per-row partial sums (each row r of
+// phase 2 owns the contribution of tmp[r], accumulated into a private
+// buffer merged at checksum time to keep rows independent).
+type AtaxKernel struct {
+	n   int
+	a   [][]float64
+	x   []float64
+	tmp []float64
+	// yPart[r] is row r's contribution vector; summing over r gives y.
+	yPart [][]float64
+}
+
+// NewAtaxKernel builds an n×n ATAX instance.
+func NewAtaxKernel(n int) *AtaxKernel {
+	g := &lcg{state: 17}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = g.next()
+	}
+	return &AtaxKernel{
+		n: n, a: fillMatrix(n, n, 18), x: x,
+		tmp:   make([]float64, n),
+		yPart: makeZero(n, n),
+	}
+}
+
+// Name implements Kernel.
+func (k *AtaxKernel) Name() string { return "ATAX" }
+
+// Rows implements Kernel.
+func (k *AtaxKernel) Rows() int { return 2 * k.n }
+
+// Phases implements Phased: tmp must be complete before y accumulation.
+func (k *AtaxKernel) Phases() []int { return []int{k.n, 2 * k.n} }
+
+// RunRows implements Kernel.
+func (k *AtaxKernel) RunRows(lo, hi int) {
+	for r := lo; r < hi; r++ {
+		if r < k.n {
+			s := 0.0
+			for j := 0; j < k.n; j++ {
+				s += k.a[r][j] * k.x[j]
+			}
+			k.tmp[r] = s
+		} else {
+			i := r - k.n
+			for j := 0; j < k.n; j++ {
+				k.yPart[i][j] = k.a[i][j] * k.tmp[i]
+			}
+		}
+	}
+}
+
+// Checksum implements Kernel.
+func (k *AtaxKernel) Checksum() float64 {
+	s := 0.0
+	for j := 0; j < k.n; j++ {
+		col := 0.0
+		for i := 0; i < k.n; i++ {
+			col += k.yPart[i][j]
+		}
+		s += col * (1 + float64(j%5)/10)
+	}
+	return s
+}
+
+// --- BICG: s = Aᵀ·r, q = A·p ----------------------------------------------------
+
+// BicgKernel is the Polybench BICG kernel; the two products are
+// independent, so all 2n rows form a single phase.
+type BicgKernel struct {
+	n    int
+	a    [][]float64
+	p, r []float64
+	q    []float64
+	// sPart[i] holds row i's contribution to s (merged at checksum).
+	sPart [][]float64
+}
+
+// NewBicgKernel builds an n×n BICG instance.
+func NewBicgKernel(n int) *BicgKernel {
+	g := &lcg{state: 19}
+	vec := func() []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = g.next()*2 - 1
+		}
+		return v
+	}
+	return &BicgKernel{
+		n: n, a: fillMatrix(n, n, 20),
+		p: vec(), r: vec(),
+		q:     make([]float64, n),
+		sPart: makeZero(n, n),
+	}
+}
+
+// Name implements Kernel.
+func (k *BicgKernel) Name() string { return "BICG" }
+
+// Rows implements Kernel.
+func (k *BicgKernel) Rows() int { return 2 * k.n }
+
+// RunRows implements Kernel.
+func (k *BicgKernel) RunRows(lo, hi int) {
+	for r := lo; r < hi; r++ {
+		if r < k.n {
+			s := 0.0
+			for j := 0; j < k.n; j++ {
+				s += k.a[r][j] * k.p[j]
+			}
+			k.q[r] = s
+		} else {
+			i := r - k.n
+			for j := 0; j < k.n; j++ {
+				k.sPart[i][j] = k.r[i] * k.a[i][j]
+			}
+		}
+	}
+}
+
+// Checksum implements Kernel.
+func (k *BicgKernel) Checksum() float64 {
+	s := 0.0
+	for i := 0; i < k.n; i++ {
+		s += k.q[i] * 1.3
+	}
+	for j := 0; j < k.n; j++ {
+		col := 0.0
+		for i := 0; i < k.n; i++ {
+			col += k.sPart[i][j]
+		}
+		s += col * 0.7
+	}
+	return s
+}
+
+// --- GESUMMV: y = alpha·A·x + beta·B·x -------------------------------------------
+
+// GesummvKernel is the Polybench GESUMMV kernel (single phase, fully
+// row-parallel).
+type GesummvKernel struct {
+	n           int
+	alpha, beta float64
+	a, b        [][]float64
+	x, y        []float64
+}
+
+// NewGesummvKernel builds an n×n GESUMMV instance.
+func NewGesummvKernel(n int) *GesummvKernel {
+	g := &lcg{state: 21}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = g.next()
+	}
+	return &GesummvKernel{
+		n: n, alpha: 1.2, beta: 0.8,
+		a: fillMatrix(n, n, 22), b: fillMatrix(n, n, 23),
+		x: x, y: make([]float64, n),
+	}
+}
+
+// Name implements Kernel.
+func (k *GesummvKernel) Name() string { return "GESUMMV" }
+
+// Rows implements Kernel.
+func (k *GesummvKernel) Rows() int { return k.n }
+
+// RunRows implements Kernel.
+func (k *GesummvKernel) RunRows(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sa, sb := 0.0, 0.0
+		for j := 0; j < k.n; j++ {
+			sa += k.a[i][j] * k.x[j]
+			sb += k.b[i][j] * k.x[j]
+		}
+		k.y[i] = k.alpha*sa + k.beta*sb
+	}
+}
+
+// Checksum implements Kernel.
+func (k *GesummvKernel) Checksum() float64 {
+	s := 0.0
+	for i, v := range k.y {
+		s += v * (1 + float64(i%7))
+	}
+	return s
+}
+
+// --- 3MM: E = A·B, F = C·D, G = E·F -----------------------------------------------
+
+// ThreeMMKernel is the Polybench 3MM kernel: three chained multiplies in
+// three phases (E and F could overlap but Polybench orders them; keeping
+// three phases exercises deeper dependency chains than 2MM).
+type ThreeMMKernel struct {
+	n          int
+	a, b, c, d [][]float64
+	e, f, g    [][]float64
+}
+
+// NewThreeMMKernel builds an n×n 3MM instance.
+func NewThreeMMKernel(n int) *ThreeMMKernel {
+	return &ThreeMMKernel{
+		n: n,
+		a: fillMatrix(n, n, 24), b: fillMatrix(n, n, 25),
+		c: fillMatrix(n, n, 26), d: fillMatrix(n, n, 27),
+		e: makeZero(n, n), f: makeZero(n, n), g: makeZero(n, n),
+	}
+}
+
+// Name implements Kernel.
+func (k *ThreeMMKernel) Name() string { return "3MM" }
+
+// Rows implements Kernel.
+func (k *ThreeMMKernel) Rows() int { return 3 * k.n }
+
+// Phases implements Phased.
+func (k *ThreeMMKernel) Phases() []int { return []int{k.n, 2 * k.n, 3 * k.n} }
+
+// RunRows implements Kernel.
+func (k *ThreeMMKernel) RunRows(lo, hi int) {
+	for r := lo; r < hi; r++ {
+		switch {
+		case r < k.n:
+			i := r
+			for j := 0; j < k.n; j++ {
+				s := 0.0
+				for p := 0; p < k.n; p++ {
+					s += k.a[i][p] * k.b[p][j]
+				}
+				k.e[i][j] = s
+			}
+		case r < 2*k.n:
+			i := r - k.n
+			for j := 0; j < k.n; j++ {
+				s := 0.0
+				for p := 0; p < k.n; p++ {
+					s += k.c[i][p] * k.d[p][j]
+				}
+				k.f[i][j] = s
+			}
+		default:
+			i := r - 2*k.n
+			for j := 0; j < k.n; j++ {
+				s := 0.0
+				for p := 0; p < k.n; p++ {
+					s += k.e[i][p] * k.f[p][j]
+				}
+				k.g[i][j] = s
+			}
+		}
+	}
+}
+
+// Checksum implements Kernel.
+func (k *ThreeMMKernel) Checksum() float64 { return checksumMatrix(k.g) }
+
+// ExtraKernelNames lists the kernels available beyond the paper's
+// eight-app catalog.
+func ExtraKernelNames() []string { return []string{"ATAX", "BICG", "GESUMMV", "3MM"} }

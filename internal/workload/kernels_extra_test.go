@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtraKernelsConstruct(t *testing.T) {
+	for _, name := range ExtraKernelNames() {
+		k, err := NewKernel(name, kernelN)
+		if err != nil {
+			t.Fatalf("NewKernel(%s): %v", name, err)
+		}
+		if k.Name() != name {
+			t.Errorf("name %q != %q", k.Name(), name)
+		}
+		if k.Rows() <= 0 {
+			t.Errorf("%s: Rows = %d", name, k.Rows())
+		}
+	}
+}
+
+func TestExtraKernelsPartitionInvariance(t *testing.T) {
+	for _, name := range ExtraKernelNames() {
+		ref, _ := NewKernel(name, kernelN)
+		ref.RunRows(0, ref.Rows())
+		want := ref.Checksum()
+		for _, frac := range []float64{0, 0.3, 0.5, 1} {
+			k, _ := NewKernel(name, kernelN)
+			if err := RunPartitioned(k, frac, 3); err != nil {
+				t.Fatalf("%s frac %g: %v", name, frac, err)
+			}
+			if got := k.Checksum(); math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Errorf("%s: partition %g checksum %g != %g", name, frac, got, want)
+			}
+		}
+	}
+}
+
+func TestThreeMMPhases(t *testing.T) {
+	k := NewThreeMMKernel(kernelN)
+	ph := k.Phases()
+	if len(ph) != 3 || ph[2] != 3*kernelN {
+		t.Errorf("Phases = %v", ph)
+	}
+	// Running the final multiply before its inputs gives a different
+	// (wrong) result — the phase dependency is real.
+	ordered := NewThreeMMKernel(kernelN)
+	ordered.RunRows(0, 3*kernelN)
+	wrong := NewThreeMMKernel(kernelN)
+	wrong.RunRows(2*kernelN, 3*kernelN)
+	wrong.RunRows(0, 2*kernelN)
+	if ordered.Checksum() == wrong.Checksum() {
+		t.Error("3MM phase order should matter")
+	}
+}
+
+func TestAtaxPhases(t *testing.T) {
+	k := NewAtaxKernel(kernelN)
+	if ph := k.Phases(); len(ph) != 2 || ph[1] != 2*kernelN {
+		t.Errorf("Phases = %v", ph)
+	}
+	// ATAX with x = 0 gives y = 0.
+	z := NewAtaxKernel(8)
+	for i := range z.x {
+		z.x[i] = 0
+	}
+	z.RunRows(0, z.Rows())
+	if z.Checksum() != 0 {
+		t.Errorf("ATAX with zero x: checksum %g, want 0", z.Checksum())
+	}
+}
+
+// GESUMMV with B = 0 reduces to alpha·A·x.
+func TestGesummvReduction(t *testing.T) {
+	k := NewGesummvKernel(8)
+	for i := range k.b {
+		for j := range k.b[i] {
+			k.b[i][j] = 0
+		}
+	}
+	k.RunRows(0, 8)
+	for i := 0; i < 8; i++ {
+		want := 0.0
+		for j := 0; j < 8; j++ {
+			want += k.a[i][j] * k.x[j]
+		}
+		want *= k.alpha
+		if math.Abs(k.y[i]-want) > 1e-12 {
+			t.Fatalf("GESUMMV reduction failed at %d: %g vs %g", i, k.y[i], want)
+		}
+	}
+}
+
+// BICG's q side must equal a plain matrix-vector product.
+func TestBicgQSide(t *testing.T) {
+	k := NewBicgKernel(8)
+	k.RunRows(0, k.Rows())
+	for i := 0; i < 8; i++ {
+		want := 0.0
+		for j := 0; j < 8; j++ {
+			want += k.a[i][j] * k.p[j]
+		}
+		if math.Abs(k.q[i]-want) > 1e-12 {
+			t.Fatalf("BICG q[%d] = %g, want %g", i, k.q[i], want)
+		}
+	}
+}

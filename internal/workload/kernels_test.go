@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const kernelN = 24 // small but non-trivial problem size for tests
+
+func allKernelNames() []string {
+	return []string{"GEMM", "2MM", "MVT", "SYRK", "SYR2K", "2DCONV", "COVARIANCE", "CORRELATION"}
+}
+
+func TestNewKernelCoversCatalog(t *testing.T) {
+	for _, a := range Apps() {
+		k, err := NewKernel(a.Name, kernelN)
+		if err != nil {
+			t.Errorf("NewKernel(%s): %v", a.Name, err)
+			continue
+		}
+		if k.Name() != a.Name {
+			t.Errorf("kernel name %s != app name %s", k.Name(), a.Name)
+		}
+		if k.Rows() <= 0 {
+			t.Errorf("%s: Rows() = %d", a.Name, k.Rows())
+		}
+	}
+	if _, err := NewKernel("nope", kernelN); err == nil {
+		t.Error("NewKernel should reject unknown names")
+	}
+	if _, err := NewKernel("GEMM", 1); err == nil {
+		t.Error("NewKernel should reject tiny sizes")
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	for _, name := range allKernelNames() {
+		k1, _ := NewKernel(name, kernelN)
+		k2, _ := NewKernel(name, kernelN)
+		k1.RunRows(0, k1.Rows())
+		k2.RunRows(0, k2.Rows())
+		if c1, c2 := k1.Checksum(), k2.Checksum(); c1 != c2 {
+			t.Errorf("%s: checksums differ across identical runs: %g vs %g", name, c1, c2)
+		}
+	}
+}
+
+// Partition invariance: the core property the paper's thread partitioning
+// relies on — any row split yields the same result.
+func TestPartitionInvariance(t *testing.T) {
+	for _, name := range allKernelNames() {
+		ref, _ := NewKernel(name, kernelN)
+		ref.RunRows(0, ref.Rows())
+		want := ref.Checksum()
+
+		for _, frac := range []float64{0, 0.25, 0.5, 0.875, 1} {
+			k, _ := NewKernel(name, kernelN)
+			if err := RunPartitioned(k, frac, 3); err != nil {
+				t.Fatalf("%s frac %g: %v", name, frac, err)
+			}
+			if got := k.Checksum(); math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Errorf("%s: partition %g checksum %g != reference %g", name, frac, got, want)
+			}
+		}
+	}
+}
+
+func TestRunPartitionedValidation(t *testing.T) {
+	k, _ := NewKernel("GEMM", kernelN)
+	if err := RunPartitioned(k, -0.1, 2); err == nil {
+		t.Error("RunPartitioned should reject negative fraction")
+	}
+	if err := RunPartitioned(k, 0.5, 0); err == nil {
+		t.Error("RunPartitioned should reject zero workers")
+	}
+}
+
+func TestTwoMMPhases(t *testing.T) {
+	k := NewTwoMMKernel(kernelN)
+	ph := k.Phases()
+	if len(ph) != 2 || ph[0] != kernelN || ph[1] != 2*kernelN {
+		t.Errorf("Phases = %v, want [%d %d]", ph, kernelN, 2*kernelN)
+	}
+	// Running phase 2 before phase 1 must give a different (wrong)
+	// answer than the ordered run, proving the dependency is real and
+	// RunPartitioned's phase handling matters.
+	ordered := NewTwoMMKernel(kernelN)
+	ordered.RunRows(0, 2*kernelN)
+	wrong := NewTwoMMKernel(kernelN)
+	wrong.RunRows(kernelN, 2*kernelN) // E from zero D
+	wrong.RunRows(0, kernelN)
+	if ordered.Checksum() == wrong.Checksum() {
+		t.Error("phase order should matter for 2MM")
+	}
+}
+
+// GEMM with identity B must return alpha·A + beta·C.
+func TestGemmAgainstIdentity(t *testing.T) {
+	k := NewGemmKernel(8)
+	// Overwrite B with the identity.
+	for i := range k.b {
+		for j := range k.b[i] {
+			if i == j {
+				k.b[i][j] = 1
+			} else {
+				k.b[i][j] = 0
+			}
+		}
+	}
+	aCopy := make([][]float64, 8)
+	cCopy := make([][]float64, 8)
+	for i := range aCopy {
+		aCopy[i] = append([]float64(nil), k.a[i]...)
+		cCopy[i] = append([]float64(nil), k.c[i]...)
+	}
+	k.RunRows(0, 8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			want := k.alpha*aCopy[i][j] + k.beta*cCopy[i][j]
+			if math.Abs(k.c[i][j]-want) > 1e-12 {
+				t.Fatalf("GEMM identity check failed at (%d,%d): %g vs %g", i, j, k.c[i][j], want)
+			}
+		}
+	}
+}
+
+// The covariance matrix must be symmetric and have non-negative diagonal.
+func TestCovarianceProperties(t *testing.T) {
+	k := NewCovarianceKernel(16)
+	k.RunRows(0, 16)
+	for i := 0; i < 16; i++ {
+		if k.cov[i][i] < 0 {
+			t.Errorf("cov[%d][%d] = %g < 0", i, i, k.cov[i][i])
+		}
+		for j := 0; j < i; j++ {
+			if math.Abs(k.cov[i][j]-k.cov[j][i]) > 1e-12 {
+				t.Errorf("cov not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// The correlation matrix must have unit diagonal and entries in [-1, 1].
+func TestCorrelationProperties(t *testing.T) {
+	k := NewCorrelationKernel(16)
+	k.RunRows(0, 16)
+	for i := 0; i < 16; i++ {
+		if math.Abs(k.corr[i][i]-1) > 1e-9 {
+			t.Errorf("corr[%d][%d] = %g, want 1", i, i, k.corr[i][i])
+		}
+		for j := 0; j < 16; j++ {
+			if k.corr[i][j] < -1-1e-9 || k.corr[i][j] > 1+1e-9 {
+				t.Errorf("corr[%d][%d] = %g outside [-1,1]", i, j, k.corr[i][j])
+			}
+		}
+	}
+}
+
+// SYRK output must be symmetric when beta·C starts symmetric.
+func TestSyrkSymmetry(t *testing.T) {
+	k := NewSyrkKernel(12)
+	// Symmetrise C first.
+	for i := 0; i < 12; i++ {
+		for j := 0; j < i; j++ {
+			k.c[j][i] = k.c[i][j]
+		}
+	}
+	k.RunRows(0, 12)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < i; j++ {
+			if math.Abs(k.c[i][j]-k.c[j][i]) > 1e-12 {
+				t.Errorf("SYRK result not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// MVT with zero y vectors must leave x unchanged.
+func TestMvtZeroInput(t *testing.T) {
+	k := NewMvtKernel(10)
+	for i := range k.y1 {
+		k.y1[i], k.y2[i] = 0, 0
+	}
+	x1Before := append([]float64(nil), k.x1...)
+	k.RunRows(0, 10)
+	for i := range x1Before {
+		if k.x1[i] != x1Before[i] {
+			t.Errorf("MVT with zero y changed x1[%d]", i)
+		}
+	}
+}
+
+// Conv2D borders must remain zero (the Polybench kernel skips them).
+func TestConv2DBorders(t *testing.T) {
+	k := NewConv2DKernel(10)
+	k.RunRows(0, 10)
+	for j := 0; j < 10; j++ {
+		if k.out[0][j] != 0 || k.out[9][j] != 0 {
+			t.Error("Conv2D border rows should stay zero")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if k.out[i][0] != 0 || k.out[i][9] != 0 {
+			t.Error("Conv2D border cols should stay zero")
+		}
+	}
+}
+
+// Property: for any random split point, running [0,s) then [s,n) matches
+// the all-at-once run for every kernel.
+func TestSplitPointProperty(t *testing.T) {
+	names := allKernelNames()
+	f := func(nameIdx, splitRaw uint8) bool {
+		name := names[int(nameIdx)%len(names)]
+		ref, _ := NewKernel(name, kernelN)
+		ref.RunRows(0, ref.Rows())
+
+		k, _ := NewKernel(name, kernelN)
+		// Respect phases: split within each phase.
+		bounds := []int{k.Rows()}
+		if p, ok := k.(Phased); ok {
+			bounds = p.Phases()
+		}
+		lo := 0
+		for _, hi := range bounds {
+			s := lo + int(splitRaw)%(hi-lo+1)
+			k.RunRows(lo, s)
+			k.RunRows(s, hi)
+			lo = hi
+		}
+		return k.Checksum() == ref.Checksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

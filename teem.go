@@ -1,0 +1,335 @@
+// Package teem is a Go implementation of TEEM — online thermal- and
+// energy-efficiency management for CPU-GPU MPSoCs (Isuwa, Dey, Singh,
+// McDonald-Maier, DATE 2019) — together with every substrate the paper's
+// evaluation depends on: an Exynos 5422 platform model with cluster-wise
+// DVFS, a lumped-RC thermal simulator with TMU-style hardware protection,
+// a CMOS power model, analytic and real Polybench workloads, the Linux
+// ondemand governor, the EEMP and RMP comparison baselines, an R-style
+// linear-regression engine, and a harness that regenerates each table and
+// figure of the paper.
+//
+// # Quick start
+//
+//	plat := teem.Exynos5422()
+//	net := teem.Exynos5422Thermal()
+//	mgr, err := teem.NewManager(plat, net, teem.DefaultParams())
+//	if err != nil { ... }
+//	app := teem.Covariance()
+//	model, err := mgr.Profile(app)             // offline phase
+//	res, dec, err := mgr.Run(app, 35.0, 85.0)  // TREQ = 35 s, AT = 85 °C
+//	fmt.Println(res.ExecTimeS, res.EnergyJ, res.AvgTempC, dec.Part)
+//
+// The offline phase profiles the application across CPU mappings, fits
+// the paper's log-linear mapping model (Eq. 6) and stores it with the
+// measured ETGPU — two items instead of a 128-entry design-point table
+// (§V.D). The online phase selects the design point for a (TREQ, AT)
+// requirement, partitions work-items by Eq. (9), launches at maximum
+// frequency and regulates the A15 cluster around the 85 °C threshold in
+// 200 MHz steps with a 1400 MHz floor (Fig. 2).
+//
+// # Reproducing the paper
+//
+//	env, err := teem.NewExperiments()
+//	fig1, err := env.Fig1()        // motivation traces + summary
+//	m, err := env.ProfileApp("COVARIANCE")
+//	fmt.Println(m.TableI(), m.TableII(), m.Fig3(), m.Fig4())
+//	fig5, err := env.Fig5(teem.Mapping{Big: 4, Little: 2, UseGPU: true})
+//	fmt.Println(fig5.RenderEnergy())
+//
+// Custom platforms are plain data: describe clusters and OPP tables with
+// Platform, wire a thermal Network, and every governor, baseline and the
+// TEEM manager run unchanged (see examples/customplatform).
+package teem
+
+import (
+	"io"
+
+	"teem/internal/baseline"
+	"teem/internal/core"
+	"teem/internal/experiments"
+	"teem/internal/governor"
+	"teem/internal/mapping"
+	"teem/internal/profile"
+	"teem/internal/regress"
+	"teem/internal/sim"
+	"teem/internal/soc"
+	"teem/internal/thermal"
+	"teem/internal/trace"
+	"teem/internal/workload"
+)
+
+// --- platform description (internal/soc) -------------------------------------
+
+// Platform describes an MPSoC: clusters, OPP tables, thermal trip points.
+type Platform = soc.Platform
+
+// Cluster is one voltage/frequency island.
+type Cluster = soc.Cluster
+
+// OPP is an operating performance point (frequency + voltage).
+type OPP = soc.OPP
+
+// ClusterKind tags clusters as big CPU, LITTLE CPU or GPU.
+type ClusterKind = soc.ClusterKind
+
+// Cluster kinds.
+const (
+	BigCPU    = soc.BigCPU
+	LittleCPU = soc.LittleCPU
+	GPUKind   = soc.GPU
+)
+
+// Exynos5422 returns the Samsung Exynos 5422 (Odroid-XU4) platform model.
+func Exynos5422() *Platform { return soc.Exynos5422() }
+
+// Exynos5410 returns the Samsung Exynos 5410 (Odroid-XU) platform model —
+// a second preset demonstrating platform independence.
+func Exynos5410() *Platform { return soc.Exynos5410() }
+
+// LoadPlatform reads a platform description from JSON (write one with
+// Platform.Save).
+func LoadPlatform(r io.Reader) (*Platform, error) { return soc.LoadPlatform(r) }
+
+// --- thermal model (internal/thermal) ----------------------------------------
+
+// ThermalNetwork is a lumped RC thermal topology.
+type ThermalNetwork = thermal.Network
+
+// ThermalNode is one thermal mass.
+type ThermalNode = thermal.Node
+
+// ThermalLink is a thermal resistance between nodes (or to Ambient).
+type ThermalLink = thermal.Link
+
+// Ambient is the boundary pseudo-node index for ThermalLink.B.
+const Ambient = thermal.Ambient
+
+// Exynos5422Thermal returns the calibrated RC network of the Exynos 5422
+// as mounted on the Odroid-XU4.
+func Exynos5422Thermal() *ThermalNetwork { return thermal.Exynos5422Network() }
+
+// LoadThermalNetwork reads an RC topology from JSON (write one with
+// ThermalNetwork.Save).
+func LoadThermalNetwork(r io.Reader) (*ThermalNetwork, error) { return thermal.LoadNetwork(r) }
+
+// --- workloads (internal/workload) -------------------------------------------
+
+// App models one OpenCL application's execution characteristics.
+type App = workload.App
+
+// Kernel is a runnable, row-partitionable Polybench kernel port.
+type Kernel = workload.Kernel
+
+// Apps returns the paper's eight Polybench applications.
+func Apps() []*App { return workload.Apps() }
+
+// AppByShort resolves a paper code (2D, CV, GM/GE, 2M, MV, S2, SR, CR).
+func AppByShort(code string) (*App, error) { return workload.ByShort(code) }
+
+// AppByName resolves a Polybench name (e.g. "COVARIANCE").
+func AppByName(name string) (*App, error) { return workload.ByName(name) }
+
+// Covariance returns the Fig. 1 motivation application.
+func Covariance() *App { return workload.Covariance() }
+
+// NewKernel builds the real kernel for an app name with problem size n.
+func NewKernel(appName string, n int) (Kernel, error) { return workload.NewKernel(appName, n) }
+
+// RunPartitioned executes a kernel with cpuFrac of each phase on nCPU
+// concurrent workers and the rest on a throughput worker, mimicking
+// OpenCL work-item partitioning.
+func RunPartitioned(k Kernel, cpuFrac float64, nCPU int) error {
+	return workload.RunPartitioned(k, cpuFrac, nCPU)
+}
+
+// --- design points (internal/mapping) ----------------------------------------
+
+// Mapping selects CPU cores (and GPU use) for an application.
+type Mapping = mapping.Mapping
+
+// Partition splits work-items between CPU and GPU.
+type Partition = mapping.Partition
+
+// FreqSetting is a cluster-wise DVFS choice.
+type FreqSetting = mapping.FreqSetting
+
+// DesignPoint is a mapping × frequency × partition triple.
+type DesignPoint = mapping.DesignPoint
+
+// Space enumerates a platform's design space (Eqs. 1–2).
+type Space = mapping.Space
+
+// NewSpace builds the design space of a platform.
+func NewSpace(p *Platform) (*Space, error) { return mapping.NewSpace(p) }
+
+// Partitions returns the paper's nine work-item partition grains.
+func Partitions() []Partition { return mapping.Partitions() }
+
+// NearestPartition snaps a CPU fraction to the closest grain.
+func NearestPartition(cpuFrac float64) Partition { return mapping.NearestPartition(cpuFrac) }
+
+// --- simulation (internal/sim) ------------------------------------------------
+
+// SimConfig assembles a co-simulation run.
+type SimConfig = sim.Config
+
+// SimResult summarises a run (execution time, energy, temperatures,
+// effective frequency, trace).
+type SimResult = sim.Result
+
+// Machine is the restricted hardware view governors drive.
+type Machine = sim.Machine
+
+// Governor is a DVFS policy plugged into the engine.
+type Governor = sim.Governor
+
+// Engine executes one configured run.
+type Engine = sim.Engine
+
+// Trace is a recorded simulation time series.
+type Trace = trace.Trace
+
+// NewEngine validates a configuration and builds an engine.
+func NewEngine(cfg SimConfig) (*Engine, error) { return sim.New(cfg) }
+
+// RunWarm executes a run with the paper's steady-regime measurement
+// protocol (discarded warm-up, then the measured run).
+func RunWarm(cfg SimConfig) (*SimResult, error) { return sim.RunWarm(cfg) }
+
+// WarmStartTemps returns the pre-heated thermal state of back-to-back
+// benchmarking (steady state of a mid-frequency run of the same job).
+func WarmStartTemps(cfg SimConfig) ([]float64, error) { return sim.WarmStartTemps(cfg) }
+
+// Job is one entry of a back-to-back campaign.
+type Job = sim.Job
+
+// CampaignConfig paces a campaign; CampaignResult aggregates it.
+type (
+	CampaignConfig = sim.CampaignConfig
+	CampaignResult = sim.CampaignResult
+)
+
+// RunCampaign executes jobs sequentially with thermal state carried
+// across job boundaries (and optional idle gaps) — the thermal situation
+// a real device lives in.
+func RunCampaign(cc CampaignConfig, jobs []Job) (*CampaignResult, error) {
+	return sim.RunCampaign(cc, jobs)
+}
+
+// --- governors (internal/governor) ---------------------------------------------
+
+// NewOndemand returns the Linux ondemand governor with kernel defaults —
+// the paper's Fig. 1(a) baseline when combined with the TMU.
+func NewOndemand() Governor { return governor.NewOndemand() }
+
+// NewPerformance returns the performance governor (max frequency).
+func NewPerformance() Governor { return governor.Performance{} }
+
+// NewPowersave returns the powersave governor (min frequency).
+func NewPowersave() Governor { return governor.Powersave{} }
+
+// NewConservative returns the conservative governor.
+func NewConservative() Governor { return governor.NewConservative() }
+
+// NewUserspace returns a governor pinning the given frequencies (zero
+// fields mean cluster maximum).
+func NewUserspace(bigMHz, littleMHz, gpuMHz int) Governor {
+	return &governor.Userspace{BigMHz: bigMHz, LittleMHz: littleMHz, GPUMHz: gpuMHz}
+}
+
+// --- TEEM (internal/core) -------------------------------------------------------
+
+// Params are the TEEM controller knobs (threshold, δ, floor, period).
+type Params = core.Params
+
+// Manager owns offline profiles and makes online decisions.
+type Manager = core.Manager
+
+// AppModel is a fitted per-application model (Eq. 6 + stored ETGPU).
+type AppModel = core.AppModel
+
+// Decision is an online design-point selection.
+type Decision = core.Decision
+
+// Controller is the online thermal regulator (a Governor).
+type Controller = core.Controller
+
+// DefaultParams returns the paper's configuration: 85 °C threshold,
+// 200 MHz steps, 1400 MHz floor.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewManager builds a TEEM manager for a platform and thermal network.
+func NewManager(p *Platform, n *ThermalNetwork, params Params) (*Manager, error) {
+	return core.NewManager(p, n, params)
+}
+
+// NewController returns a standalone TEEM controller for use as a
+// Governor.
+func NewController(params Params) *Controller { return core.NewController(params) }
+
+// Store is the persistent runtime-model set (see paper section V.D:
+// coefficients + ETGPU per app); StoredModel one entry.
+type (
+	Store       = core.Store
+	StoredModel = core.StoredModel
+)
+
+// LoadStore reads a runtime-model store from JSON (write one with
+// Manager.Export + Store.Save, or teemprofile -save).
+func LoadStore(r io.Reader) (*Store, error) { return core.LoadStore(r) }
+
+// --- baselines (internal/baseline) ----------------------------------------------
+
+// EEMP is the energy-efficient mapping/partitioning baseline [15].
+type EEMP = baseline.EEMP
+
+// RMP is the reliable (temperature-aware) mapping baseline [9].
+type RMP = baseline.RMP
+
+// NewEEMP builds the EEMP baseline for a CPU mapping.
+func NewEEMP(p *Platform, n *ThermalNetwork, m Mapping) (*EEMP, error) {
+	return baseline.NewEEMP(p, n, m)
+}
+
+// NewRMP builds the RMP baseline for a CPU mapping.
+func NewRMP(p *Platform, n *ThermalNetwork, m Mapping) (*RMP, error) {
+	return baseline.NewRMP(p, n, m)
+}
+
+// --- profiling and regression ----------------------------------------------------
+
+// Evaluator predicts design-point behaviour (analytic or simulated).
+type Evaluator = profile.Evaluator
+
+// PointEval is one design-point evaluation.
+type PointEval = profile.PointEval
+
+// NewEvaluator builds a design-point evaluator.
+func NewEvaluator(p *Platform, n *ThermalNetwork) (*Evaluator, error) {
+	return profile.NewEvaluator(p, n)
+}
+
+// Dataset is a named regression dataset.
+type Dataset = regress.Dataset
+
+// RegressionModel is a fitted OLS model with the full R-style summary.
+type RegressionModel = regress.Model
+
+// FitRegression performs OLS with an intercept.
+func FitRegression(d *Dataset) (*RegressionModel, error) { return regress.Fit(d) }
+
+// --- experiments -------------------------------------------------------------------
+
+// Experiments regenerates the paper's tables and figures.
+type Experiments = experiments.Env
+
+// Fig1Result, Fig5Result and ModelResult carry experiment outputs.
+type (
+	Fig1Result  = experiments.Fig1Result
+	Fig5Result  = experiments.Fig5Result
+	ModelResult = experiments.ModelResult
+)
+
+// NewExperiments builds the default experiment environment (Exynos 5422,
+// paper parameters).
+func NewExperiments() (*Experiments, error) { return experiments.NewEnv() }
