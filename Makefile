@@ -1,0 +1,30 @@
+# Targets mirror .github/workflows/ci.yml one-to-one so local runs and CI
+# are the same invocations. `make ci` is the full gate.
+
+GO ?= go
+
+.PHONY: build vet fmt test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass through every benchmark — a smoke run that keeps the perf
+# trajectory compiling and executable, not a measurement.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+ci: build vet fmt test race bench

@@ -165,6 +165,34 @@ func BenchmarkFig5cPerformance(b *testing.B) {
 	}
 }
 
+// benchFig5Workers regenerates the full Fig. 5 evaluation (eight apps ×
+// three approaches, profiling included) from a cold environment with the
+// given worker-pool bound. Unlike the cached figure benchmarks above it
+// measures the complete uncached evaluation, so the serial/parallel pair
+// exposes the worker-pool speedup in the perf trajectory.
+func benchFig5Workers(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		e, err := teem.NewExperimentsWith(teem.ExperimentOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := e.Fig5(fig5Mapping)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 8 {
+			b.Fatalf("%d rows, want 8", len(r.Rows))
+		}
+	}
+}
+
+// BenchmarkFig5Serial is the one-worker reference for the speedup.
+func BenchmarkFig5Serial(b *testing.B) { benchFig5Workers(b, 1) }
+
+// BenchmarkFig5Parallel runs the same evaluation on one worker per CPU;
+// the ratio to BenchmarkFig5Serial is the parallel engine's speedup.
+func BenchmarkFig5Parallel(b *testing.B) { benchFig5Workers(b, 0) }
+
 // BenchmarkMemoryFootprint regenerates the §V.D storage comparison
 // (128 table entries vs model + ETGPU).
 func BenchmarkMemoryFootprint(b *testing.B) {

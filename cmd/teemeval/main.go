@@ -8,6 +8,7 @@
 //	teemeval                 # everything at mapping 2L+4B
 //	teemeval -only fig5      # a single experiment
 //	teemeval -big 3          # Fig. 5 at mapping 2L+3B
+//	teemeval -workers 8      # bound the parallel worker pool
 package main
 
 import (
@@ -27,10 +28,11 @@ func main() {
 		only    = flag.String("only", "", "run one experiment: fig1, fig5, memory, space, ablations")
 		nBig    = flag.Int("big", 4, "Fig. 5 mapping: big cores")
 		nLittle = flag.Int("little", 2, "Fig. 5 mapping: LITTLE cores")
+		workers = flag.Int("workers", 0, "parallel experiment workers (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
-	env, err := experiments.NewEnv()
+	env, err := experiments.NewEnvWith(experiments.Options{Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module teem
+
+go 1.24

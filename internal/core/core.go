@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"teem/internal/mapping"
 	"teem/internal/regress"
@@ -201,11 +202,17 @@ func (am *AppModel) PredictM(atC, etS float64) (float64, error) {
 	return math.Pow(10, logM), nil
 }
 
-// Manager owns the offline profiles and makes online decisions.
+// Manager owns the offline profiles and makes online decisions. A
+// Manager is safe for concurrent use: the model store is mutex-guarded,
+// and every simulation a method launches runs on engine state private to
+// that call (the shared Platform and Network are read-only during
+// simulation).
 type Manager struct {
 	plat   *soc.Platform
 	net    *thermal.Network
 	params Params
+
+	mu     sync.RWMutex
 	models map[string]*AppModel
 }
 
@@ -236,8 +243,26 @@ func (mg *Manager) Params() Params { return mg.params }
 
 // Model returns the stored model for an app, if profiled.
 func (mg *Manager) Model(appName string) (*AppModel, bool) {
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
 	am, ok := mg.models[appName]
 	return am, ok
+}
+
+// Clone returns a manager sharing the (read-only) platform, network and
+// parameters with a snapshot of the current model store. The manager is
+// already safe for concurrent use; Clone is for callers that want full
+// isolation instead — a worker that must not observe apps profiled after
+// the snapshot, or one that profiles throwaway variants without
+// polluting the shared store.
+func (mg *Manager) Clone() *Manager {
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
+	models := make(map[string]*AppModel, len(mg.models))
+	for k, v := range mg.models {
+		models[k] = v
+	}
+	return &Manager{plat: mg.plat, net: mg.net, params: mg.params, models: models}
 }
 
 // profileRun executes one profiling measurement at maximum frequencies
@@ -304,7 +329,9 @@ func (mg *Manager) Profile(app *workload.App) (*AppModel, error) {
 		return nil, err
 	}
 	am.ETGPUSec = gpuRes.ExecTimeS
+	mg.mu.Lock()
 	mg.models[app.Name] = am
+	mg.mu.Unlock()
 	return am, nil
 }
 
@@ -382,7 +409,7 @@ type Decision struct {
 // (TREQ, seconds) and average temperature (AT, °C), per the paper's online
 // optimisation. The app must have been profiled.
 func (mg *Manager) Decide(appName string, treqS, atC float64) (Decision, error) {
-	am, ok := mg.models[appName]
+	am, ok := mg.Model(appName)
 	if !ok {
 		return Decision{}, fmt.Errorf("core: app %q not profiled", appName)
 	}
@@ -437,7 +464,7 @@ func decodeMapping(m float64, maxBig, maxLit int) mapping.Mapping {
 // work-group fraction WGCPU = 1 − TREQ/ETGPU snapped to the paper's
 // grains. Used when the evaluation pins the mapping (Fig. 5's 2L+4B).
 func (mg *Manager) DecidePartition(appName string, treqS float64) (mapping.Partition, error) {
-	am, ok := mg.models[appName]
+	am, ok := mg.Model(appName)
 	if !ok {
 		return mapping.Partition{}, fmt.Errorf("core: app %q not profiled", appName)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 )
 
 // The runtime store is the §V.D artefact: per application, the three
@@ -50,8 +51,11 @@ type Store struct {
 	Models []StoredModel `json:"models"`
 }
 
-// Export extracts the runtime store from the manager's profiled models.
+// Export extracts the runtime store from the manager's profiled models,
+// sorted by application name so the serialised form is deterministic.
 func (mg *Manager) Export() (*Store, error) {
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
 	st := &Store{Platform: mg.plat.Name}
 	for name, am := range mg.models {
 		if am.Model == nil || len(am.Model.Coefficients) != 3 {
@@ -65,6 +69,7 @@ func (mg *Manager) Export() (*Store, error) {
 			ETGPUSec:  am.ETGPUSec,
 		})
 	}
+	sort.Slice(st.Models, func(i, j int) bool { return st.Models[i].App < st.Models[j].App })
 	return st, nil
 }
 
@@ -101,6 +106,8 @@ func (mg *Manager) Import(s *Store) error {
 	if s.Platform != "" && s.Platform != mg.plat.Name {
 		return fmt.Errorf("core: store was profiled on %s, manager drives %s", s.Platform, mg.plat.Name)
 	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
 	for _, sm := range s.Models {
 		if err := sm.Validate(); err != nil {
 			return err

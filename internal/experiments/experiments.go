@@ -14,17 +14,31 @@
 // plus the ablations DESIGN.md calls out (threshold, δ and floor sweeps).
 // Results are cached inside an Env so chained experiments don't repeat
 // expensive simulation work.
+//
+// The Env is a parallel experiment engine: the evaluation is
+// embarrassingly parallel (eight apps × three approaches, each an
+// independent simulation), so Fig. 5 rows, the ablation sweep points and
+// the design-space enumeration fan out across a bounded worker pool
+// (Options.Workers, default one worker per CPU). Every worker simulates
+// on engine state private to its job — the shared Platform and Network
+// are read-only — and the caches are single-flight: concurrent callers
+// asking for the same app profile or Fig. 5 mapping share one
+// computation. Results are reassembled in index order, so parallel output
+// is byte-identical to serial output, and an Env is safe for concurrent
+// use from multiple goroutines.
 package experiments
 
 import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"teem/internal/baseline"
 	"teem/internal/core"
 	"teem/internal/governor"
 	"teem/internal/mapping"
+	"teem/internal/par"
 	"teem/internal/report"
 	"teem/internal/sim"
 	"teem/internal/soc"
@@ -32,19 +46,35 @@ import (
 	"teem/internal/workload"
 )
 
-// Env is a shared, lazily evaluated experiment environment.
+// Options configure an experiment environment.
+type Options struct {
+	// Workers bounds the parallel fan-out of Fig. 5 rows, sweep points
+	// and design-space enumeration: 0 selects one worker per CPU
+	// (runtime.GOMAXPROCS), 1 forces the serial path. Output is
+	// byte-identical either way.
+	Workers int
+}
+
+// Env is a shared, lazily evaluated experiment environment. It is safe
+// for concurrent use.
 type Env struct {
 	Plat   *soc.Platform
 	Net    *thermal.Network
 	Params core.Params
 
+	workers atomic.Int64
+
 	mgr      *core.Manager
-	profiles map[string]*core.AppModel
-	fig5     map[string]*Fig5Result // keyed by mapping string
+	profiles par.Flight[string, *core.AppModel]
+	fig5     par.Flight[string, *Fig5Result] // keyed by mapping string
 }
 
-// NewEnv builds the default environment (Exynos 5422, paper parameters).
-func NewEnv() (*Env, error) {
+// NewEnv builds the default environment (Exynos 5422, paper parameters,
+// one worker per CPU).
+func NewEnv() (*Env, error) { return NewEnvWith(Options{}) }
+
+// NewEnvWith builds the default environment with explicit options.
+func NewEnvWith(o Options) (*Env, error) {
 	plat := soc.Exynos5422()
 	net := thermal.Exynos5422Network()
 	params := core.DefaultParams()
@@ -52,30 +82,33 @@ func NewEnv() (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Env{
-		Plat:     plat,
-		Net:      net,
-		Params:   params,
-		mgr:      mgr,
-		profiles: map[string]*core.AppModel{},
-		fig5:     map[string]*Fig5Result{},
-	}, nil
+	e := &Env{
+		Plat:   plat,
+		Net:    net,
+		Params: params,
+		mgr:    mgr,
+	}
+	e.SetWorkers(o.Workers)
+	return e, nil
 }
+
+// SetWorkers adjusts the worker-pool bound (0 = one per CPU, 1 = serial).
+// It may be called at any time, including concurrently with running
+// experiments; in-flight fan-outs keep their pool size.
+func (e *Env) SetWorkers(n int) { e.workers.Store(int64(n)) }
+
+// Workers returns the configured worker-pool bound (0 = one per CPU).
+func (e *Env) Workers() int { return int(e.workers.Load()) }
 
 // Manager exposes the TEEM manager (profiled apps accumulate in it).
 func (e *Env) Manager() *core.Manager { return e.mgr }
 
-// profileApp profiles an app once and caches the model.
+// profileApp profiles an app once and caches the model; concurrent
+// callers of the same app share a single profiling pass.
 func (e *Env) profileApp(app *workload.App) (*core.AppModel, error) {
-	if am, ok := e.profiles[app.Name]; ok {
-		return am, nil
-	}
-	am, err := e.mgr.Profile(app)
-	if err != nil {
-		return nil, err
-	}
-	e.profiles[app.Name] = am
-	return am, nil
+	return e.profiles.Do(app.Name, func() (*core.AppModel, error) {
+		return e.mgr.Profile(app)
+	})
 }
 
 // TreqFor is the evaluation's performance requirement policy: 15% slack
@@ -100,29 +133,36 @@ type Fig1Result struct {
 }
 
 // Fig1 reproduces the motivational case study: COVARIANCE on 2L+3B with
-// partition 1024 of 2048, ondemand+TMU against the TEEM controller.
+// partition 1024 of 2048, ondemand+TMU against the TEEM controller. The
+// two runs are independent and execute on the worker pool.
 func (e *Env) Fig1() (*Fig1Result, error) {
 	m := mapping.Mapping{Big: 3, Little: 2, UseGPU: true}
 	part := mapping.Partition{Num: 4, Den: 8}
 	app := workload.Covariance()
 
-	od, err := sim.RunWarm(sim.Config{
-		Platform: e.Plat, Net: e.Net, App: app,
-		Map: m, Part: part,
-		Governor: governor.NewOndemand(),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig1 ondemand: %w", err)
+	runs := []struct {
+		name string
+		gov  sim.Governor
+		res  *sim.Result
+	}{
+		{name: "ondemand", gov: governor.NewOndemand()},
+		{name: "teem", gov: core.NewController(e.Params)},
 	}
-	te, err := sim.RunWarm(sim.Config{
-		Platform: e.Plat, Net: e.Net, App: app,
-		Map: m, Part: part,
-		Governor: core.NewController(e.Params),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig1 teem: %w", err)
+	if err := par.ForEach(e.Workers(), len(runs), func(i int) error {
+		res, err := sim.RunWarm(sim.Config{
+			Platform: e.Plat, Net: e.Net, App: app,
+			Map: m, Part: part,
+			Governor: runs[i].gov,
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: fig1 %s: %w", runs[i].name, err)
+		}
+		runs[i].res = res
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	return &Fig1Result{Ondemand: od, TEEM: te}, nil
+	return &Fig1Result{Ondemand: runs[0].res, TEEM: runs[1].res}, nil
 }
 
 // Render returns the Fig. 1 style charts and summary.
@@ -242,54 +282,83 @@ type Fig5Result struct {
 }
 
 // Fig5 runs (or returns cached) the Fig. 5 evaluation at the given CPU
-// mapping; the paper's headline numbers use 2L+4B.
+// mapping; the paper's headline numbers use 2L+4B. The eight application
+// rows are independent simulations and fan out across the worker pool;
+// rows are assembled in catalog order, so the result is byte-identical to
+// a serial run. Concurrent callers of the same mapping share one
+// evaluation.
 func (e *Env) Fig5(m mapping.Mapping) (*Fig5Result, error) {
-	key := m.String()
-	if r, ok := e.fig5[key]; ok {
-		return r, nil
-	}
+	return e.fig5.Do(m.String(), func() (*Fig5Result, error) {
+		// Validate the mapping once, before fanning out (NewEEMP and
+		// NewRMP reject unusable mappings).
+		if _, err := baseline.NewEEMP(e.Plat, e.Net, m); err != nil {
+			return nil, err
+		}
+		if _, err := baseline.NewRMP(e.Plat, e.Net, m); err != nil {
+			return nil, err
+		}
+		apps := workload.Apps()
+		out := &Fig5Result{Mapping: m, Rows: make([]Fig5Row, len(apps))}
+		if err := par.ForEach(e.Workers(), len(apps), func(i int) error {
+			row, err := e.fig5Row(apps[i], m)
+			if err != nil {
+				return err
+			}
+			out.Rows[i] = row
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+}
+
+// fig5Row evaluates the three approaches for one application. Each call
+// builds its own baseline instances — their design-point tables are
+// per-application, so nothing is lost by not sharing them — and the only
+// shared mutable state, the profile cache, is single-flight.
+func (e *Env) fig5Row(app *workload.App, m mapping.Mapping) (Fig5Row, error) {
 	eemp, err := baseline.NewEEMP(e.Plat, e.Net, m)
 	if err != nil {
-		return nil, err
+		return Fig5Row{}, err
 	}
 	rmp, err := baseline.NewRMP(e.Plat, e.Net, m)
 	if err != nil {
-		return nil, err
+		return Fig5Row{}, err
 	}
-	out := &Fig5Result{Mapping: m}
-	for _, app := range workload.Apps() {
-		treq := TreqFor(app, m)
+	treq := TreqFor(app, m)
 
-		eres, edp, err := eemp.Run(app, treq)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig5 EEMP %s: %w", app.Name, err)
-		}
-		rres, rdp, err := rmp.Run(app)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig5 RMP %s: %w", app.Name, err)
-		}
-		if _, err := e.profileApp(app); err != nil {
-			return nil, err
-		}
-		part, err := e.mgr.DecidePartition(app.Name, treq)
-		if err != nil {
-			return nil, err
-		}
-		tm := m
-		tm.UseGPU = part.Num < part.Den
-		tres, err := e.mgr.RunAt(app, tm, part)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig5 TEEM %s: %w", app.Name, err)
-		}
-		out.Rows = append(out.Rows, Fig5Row{
-			App:  app,
-			EEMP: metricsOf(eres, edp),
-			RMP:  metricsOf(rres, rdp),
-			TEEM: metricsOf(tres, mapping.DesignPoint{Map: tm, Part: part}),
-		})
+	eres, edp, err := eemp.Run(app, treq)
+	if err != nil {
+		return Fig5Row{}, fmt.Errorf("experiments: fig5 EEMP %s: %w", app.Name, err)
 	}
-	e.fig5[key] = out
-	return out, nil
+	rres, rdp, err := rmp.Run(app)
+	if err != nil {
+		return Fig5Row{}, fmt.Errorf("experiments: fig5 RMP %s: %w", app.Name, err)
+	}
+	if _, err := e.profileApp(app); err != nil {
+		return Fig5Row{}, err
+	}
+	// Worker-private manager: a snapshot clone of the shared one, so the
+	// decision and the regulated run touch no shared mutable state while
+	// other rows profile into the original.
+	mgr := e.mgr.Clone()
+	part, err := mgr.DecidePartition(app.Name, treq)
+	if err != nil {
+		return Fig5Row{}, err
+	}
+	tm := m
+	tm.UseGPU = part.Num < part.Den
+	tres, err := mgr.RunAt(app, tm, part)
+	if err != nil {
+		return Fig5Row{}, fmt.Errorf("experiments: fig5 TEEM %s: %w", app.Name, err)
+	}
+	return Fig5Row{
+		App:  app,
+		EEMP: metricsOf(eres, edp),
+		RMP:  metricsOf(rres, rdp),
+		TEEM: metricsOf(tres, mapping.DesignPoint{Map: tm, Part: part}),
+	}, nil
 }
 
 // avg reduces a metric over the rows.
@@ -425,6 +494,29 @@ func (e *Env) runTEEMWith(p core.Params) (*sim.Result, error) {
 	})
 }
 
+// sweep fans the ablation points out across the worker pool: every point
+// is an independent simulation under modified controller parameters, and
+// the result slice is assembled by index, matching the serial order.
+func (e *Env) sweep(n int, modify func(i int) (value float64, p core.Params)) ([]SweepPoint, error) {
+	out := make([]SweepPoint, n)
+	if err := par.ForEach(e.Workers(), n, func(i int) error {
+		v, p := modify(i)
+		res, err := e.runTEEMWith(p)
+		if err != nil {
+			return err
+		}
+		out[i] = SweepPoint{
+			Value: v, ETS: res.ExecTimeS, ECJ: res.EnergyJ,
+			AvgTC: res.AvgTempC, PeakTC: res.PeakTempC, VarC2: res.TempVarC2,
+			Transitions: res.FreqTransitions,
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // ThresholdSweep ablates the software threshold (the paper motivates
 // 85 °C: higher thresholds cause frequent frequency changes, lower ones
 // give up performance).
@@ -432,21 +524,11 @@ func (e *Env) ThresholdSweep(thresholds []float64) ([]SweepPoint, error) {
 	if len(thresholds) == 0 {
 		return nil, errors.New("experiments: empty threshold sweep")
 	}
-	var out []SweepPoint
-	for _, th := range thresholds {
+	return e.sweep(len(thresholds), func(i int) (float64, core.Params) {
 		p := e.Params
-		p.ThresholdC = th
-		res, err := e.runTEEMWith(p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{
-			Value: th, ETS: res.ExecTimeS, ECJ: res.EnergyJ,
-			AvgTC: res.AvgTempC, PeakTC: res.PeakTempC, VarC2: res.TempVarC2,
-			Transitions: res.FreqTransitions,
-		})
-	}
-	return out, nil
+		p.ThresholdC = thresholds[i]
+		return thresholds[i], p
+	})
 }
 
 // DeltaSweep ablates the step-down δ (paper: 200 MHz).
@@ -454,21 +536,11 @@ func (e *Env) DeltaSweep(deltasMHz []int) ([]SweepPoint, error) {
 	if len(deltasMHz) == 0 {
 		return nil, errors.New("experiments: empty delta sweep")
 	}
-	var out []SweepPoint
-	for _, d := range deltasMHz {
+	return e.sweep(len(deltasMHz), func(i int) (float64, core.Params) {
 		p := e.Params
-		p.DeltaMHz = d
-		res, err := e.runTEEMWith(p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{
-			Value: float64(d), ETS: res.ExecTimeS, ECJ: res.EnergyJ,
-			AvgTC: res.AvgTempC, PeakTC: res.PeakTempC, VarC2: res.TempVarC2,
-			Transitions: res.FreqTransitions,
-		})
-	}
-	return out, nil
+		p.DeltaMHz = deltasMHz[i]
+		return float64(deltasMHz[i]), p
+	})
 }
 
 // FloorSweep ablates the frequency floor (paper: 1400 MHz).
@@ -476,21 +548,11 @@ func (e *Env) FloorSweep(floorsMHz []int) ([]SweepPoint, error) {
 	if len(floorsMHz) == 0 {
 		return nil, errors.New("experiments: empty floor sweep")
 	}
-	var out []SweepPoint
-	for _, f := range floorsMHz {
+	return e.sweep(len(floorsMHz), func(i int) (float64, core.Params) {
 		p := e.Params
-		p.FloorMHz = f
-		res, err := e.runTEEMWith(p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{
-			Value: float64(f), ETS: res.ExecTimeS, ECJ: res.EnergyJ,
-			AvgTC: res.AvgTempC, PeakTC: res.PeakTempC, VarC2: res.TempVarC2,
-			Transitions: res.FreqTransitions,
-		})
-	}
-	return out, nil
+		p.FloorMHz = floorsMHz[i]
+		return float64(floorsMHz[i]), p
+	})
 }
 
 // RenderSweep formats an ablation table.
@@ -519,19 +581,42 @@ type Eq12Result struct {
 	MaxDesignPoints int
 	TotalWithGrains int
 	DiverseSubset   int
+	// Enumerated is the point count from actually walking the design
+	// space (sharded across the worker pool) — a cross-check of the
+	// closed-form TotalWithGrains.
+	Enumerated int
 }
 
 // DesignSpace evaluates the paper's design-space counts on the platform.
+// The exhaustive enumeration that cross-checks the Eq. (2) closed form is
+// sharded across the worker pool: each worker walks a disjoint interleaved
+// slice of the space (mapping.Space.EnumerateShard).
 func (e *Env) DesignSpace() (Eq12Result, error) {
 	sp, err := mapping.NewSpace(e.Plat)
 	if err != nil {
 		return Eq12Result{}, err
+	}
+	shards := par.Normalize(e.Workers(), sp.TotalDesignPoints())
+	counts := make([]int, shards)
+	if err := par.ForEach(shards, shards, func(i int) error {
+		sp.EnumerateShard(i, shards, func(mapping.DesignPoint) bool {
+			counts[i]++
+			return true
+		})
+		return nil
+	}); err != nil {
+		return Eq12Result{}, err
+	}
+	enumerated := 0
+	for _, c := range counts {
+		enumerated += c
 	}
 	return Eq12Result{
 		CPUMappings:     sp.CountCPUMappings(),
 		MaxDesignPoints: sp.MaxDesignPoints(),
 		TotalWithGrains: sp.TotalDesignPoints(),
 		DiverseSubset:   len(sp.DiverseSubset()),
+		Enumerated:      enumerated,
 	}, nil
 }
 
@@ -544,6 +629,7 @@ func (r Eq12Result) Render() string {
 	t.AddRow("Eq. (1) CPU mappings", fmt.Sprintf("%d", r.CPUMappings))
 	t.AddRow("Eq. (2) max design points", fmt.Sprintf("%d", r.MaxDesignPoints))
 	t.AddRow("× 9 partition grains", fmt.Sprintf("%d", r.TotalWithGrains))
+	t.AddRow("enumerated (sharded walk)", fmt.Sprintf("%d", r.Enumerated))
 	t.AddRow("diverse profiled subset", fmt.Sprintf("%d", r.DiverseSubset))
 	return t.Render()
 }

@@ -42,28 +42,15 @@ func (s *Space) TotalDesignPoints() int {
 	return s.MaxDesignPoints() * NumPartitionGrains
 }
 
-// EnumerateAll streams every design point of Eq. (2) × partitions through
-// fn, stopping early if fn returns false. The structure mirrors Eq. (2):
-// big-only, LITTLE-only and combined core×frequency choices, crossed with
-// every GPU frequency and partition grain.
-func (s *Space) EnumerateAll(fn func(DesignPoint) bool) {
-	parts := Partitions()
-	emit := func(m Mapping, f FreqSetting) bool {
-		for _, g := range s.gpuOPPs {
-			f.GPUMHz = g.FreqMHz
-			for _, p := range parts {
-				m.UseGPU = p.Num < p.Den // GPU used unless all work on CPU
-				if !fn(DesignPoint{Map: m, Freq: f, Part: p}) {
-					return false
-				}
-			}
-		}
-		return true
-	}
+// enumerateGroups streams the (mapping, CPU frequency) groups of the
+// Eq. (2) structure — big-only, LITTLE-only and combined core×frequency
+// choices — in a fixed order, stopping early if fn returns false. Every
+// group fans out into len(gpuOPPs) × NumPartitionGrains design points.
+func (s *Space) enumerateGroups(fn func(m Mapping, f FreqSetting) bool) {
 	// Big-only.
 	for i := 1; i <= s.nb; i++ {
 		for _, fb := range s.bigOPPs {
-			if !emit(Mapping{Big: i}, FreqSetting{BigMHz: fb.FreqMHz}) {
+			if !fn(Mapping{Big: i}, FreqSetting{BigMHz: fb.FreqMHz}) {
 				return
 			}
 		}
@@ -71,7 +58,7 @@ func (s *Space) EnumerateAll(fn func(DesignPoint) bool) {
 	// LITTLE-only.
 	for j := 1; j <= s.nl; j++ {
 		for _, fl := range s.littleOPPs {
-			if !emit(Mapping{Little: j}, FreqSetting{LittleMHz: fl.FreqMHz}) {
+			if !fn(Mapping{Little: j}, FreqSetting{LittleMHz: fl.FreqMHz}) {
 				return
 			}
 		}
@@ -81,7 +68,7 @@ func (s *Space) EnumerateAll(fn func(DesignPoint) bool) {
 		for _, fb := range s.bigOPPs {
 			for j := 1; j <= s.nl; j++ {
 				for _, fl := range s.littleOPPs {
-					if !emit(Mapping{Big: i, Little: j},
+					if !fn(Mapping{Big: i, Little: j},
 						FreqSetting{BigMHz: fb.FreqMHz, LittleMHz: fl.FreqMHz}) {
 						return
 					}
@@ -89,6 +76,60 @@ func (s *Space) EnumerateAll(fn func(DesignPoint) bool) {
 			}
 		}
 	}
+}
+
+// emitGroup fans one group out into its GPU-frequency × partition points.
+func (s *Space) emitGroup(m Mapping, f FreqSetting, parts []Partition, fn func(DesignPoint) bool) bool {
+	for _, g := range s.gpuOPPs {
+		f.GPUMHz = g.FreqMHz
+		for _, p := range parts {
+			m.UseGPU = p.Num < p.Den // GPU used unless all work on CPU
+			if !fn(DesignPoint{Map: m, Freq: f, Part: p}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EnumerateAll streams every design point of Eq. (2) × partitions through
+// fn, stopping early if fn returns false. The structure mirrors Eq. (2):
+// big-only, LITTLE-only and combined core×frequency choices, crossed with
+// every GPU frequency and partition grain.
+func (s *Space) EnumerateAll(fn func(DesignPoint) bool) {
+	parts := Partitions()
+	s.enumerateGroups(func(m Mapping, f FreqSetting) bool {
+		return s.emitGroup(m, f, parts, fn)
+	})
+}
+
+// EnumerateShard streams the shard-th of numShards slices of the design
+// space through fn, stopping early if fn returns false. The (mapping,
+// CPU frequency) groups of the Eq. (2) structure are dealt round-robin
+// across the shards, and only an owned group's points are generated, so
+// each shard does ~1/numShards of the enumeration work — a worker pool
+// sweeps the whole space in parallel by giving each worker one shard.
+// Shards are disjoint, their union is exactly EnumerateAll, and within a
+// shard points arrive in the serial enumeration's relative order, which
+// keeps sharded sweeps deterministic.
+func (s *Space) EnumerateShard(shard, numShards int, fn func(DesignPoint) bool) {
+	if numShards <= 1 {
+		s.EnumerateAll(fn)
+		return
+	}
+	if shard < 0 || shard >= numShards {
+		return
+	}
+	parts := Partitions()
+	g := 0
+	s.enumerateGroups(func(m Mapping, f FreqSetting) bool {
+		take := g%numShards == shard
+		g++
+		if !take {
+			return true
+		}
+		return s.emitGroup(m, f, parts, fn)
+	})
 }
 
 // DiverseSubsetBigMHz and DiverseSubsetLittleMHz are the frequency strides

@@ -174,6 +174,59 @@ func TestEnumerateAllCountMatchesEq2(t *testing.T) {
 	}
 }
 
+// The shards must partition the enumeration exactly: disjoint, complete,
+// and equal to EnumerateAll as a set whatever the shard count.
+func TestEnumerateShardPartitionsSpace(t *testing.T) {
+	s, _ := NewSpace(soc.Exynos5422())
+	total := s.TotalDesignPoints()
+	for _, shards := range []int{1, 2, 3, 8} {
+		seen := make(map[DesignPoint]int, total)
+		n := 0
+		for shard := 0; shard < shards; shard++ {
+			s.EnumerateShard(shard, shards, func(d DesignPoint) bool {
+				seen[d]++
+				n++
+				return true
+			})
+		}
+		if n != total {
+			t.Errorf("%d shards enumerated %d points, want %d", shards, n, total)
+		}
+		for d, c := range seen {
+			if c != 1 {
+				t.Errorf("%d shards: point %v seen %d times", shards, d, c)
+				break
+			}
+		}
+	}
+}
+
+func TestEnumerateShardEarlyStop(t *testing.T) {
+	s, _ := NewSpace(soc.Exynos5422())
+	n := 0
+	s.EnumerateShard(1, 4, func(DesignPoint) bool {
+		n++
+		return n < 50
+	})
+	if n != 50 {
+		t.Errorf("early stop after %d points, want 50", n)
+	}
+}
+
+func TestEnumerateShardOutOfRange(t *testing.T) {
+	s, _ := NewSpace(soc.Exynos5422())
+	for _, shard := range []int{-1, 4} {
+		called := false
+		s.EnumerateShard(shard, 4, func(DesignPoint) bool {
+			called = true
+			return true
+		})
+		if called {
+			t.Errorf("shard %d of 4 should enumerate nothing", shard)
+		}
+	}
+}
+
 func TestEnumerateAllEarlyStop(t *testing.T) {
 	s, _ := NewSpace(soc.Exynos5422())
 	n := 0

@@ -3,8 +3,10 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"reflect"
 
 	"teem/internal/mapping"
+	"teem/internal/par"
 	"teem/internal/power"
 	"teem/internal/soc"
 	"teem/internal/thermal"
@@ -44,8 +46,22 @@ type CampaignConfig struct {
 	MaxTimeS        float64
 	PkgBaselineFrac float64
 	// InitialTempsC presets the chip state before the first job
-	// (default: ambient — a cold campaign start).
+	// (default: ambient — a cold campaign start). For Independent
+	// campaigns every job starts from this state.
 	InitialTempsC []float64
+	// Independent marks the jobs as thermally non-carrying: each starts
+	// from InitialTempsC with no state crossing job boundaries — a
+	// batch of separate experiments rather than a back-to-back device
+	// session. Independent jobs are scheduled across the worker pool;
+	// results keep the input order, so parallel output is identical to
+	// serial output. GapS must be 0 (an idle gap is meaningless without
+	// carried state), and each job needs its own Governor instance
+	// (governors are stateful).
+	Independent bool
+	// Workers bounds the parallel scheduler for Independent campaigns
+	// (0 = one per CPU, 1 = serial). Ignored for carried-state
+	// campaigns, which are inherently sequential.
+	Workers int
 }
 
 // CampaignResult aggregates a campaign.
@@ -62,7 +78,10 @@ type CampaignResult struct {
 	FinalTempsC []float64
 }
 
-// RunCampaign executes the jobs in order, carrying the thermal state.
+// RunCampaign executes the jobs: sequentially with the thermal state
+// carried across job boundaries (the default), or — when cc.Independent
+// is set — as thermally non-carrying jobs scheduled across a bounded
+// worker pool.
 func RunCampaign(cc CampaignConfig, jobs []Job) (*CampaignResult, error) {
 	if cc.Platform == nil || cc.Net == nil {
 		return nil, errors.New("sim: campaign needs Platform and Net")
@@ -72,6 +91,9 @@ func RunCampaign(cc CampaignConfig, jobs []Job) (*CampaignResult, error) {
 	}
 	if cc.GapS < 0 {
 		return nil, errors.New("sim: negative campaign gap")
+	}
+	if cc.Independent {
+		return runIndependent(cc, jobs)
 	}
 	temps := cc.InitialTempsC
 	out := &CampaignResult{}
@@ -114,6 +136,80 @@ func RunCampaign(cc CampaignConfig, jobs []Job) (*CampaignResult, error) {
 		}
 	}
 	out.FinalTempsC = temps
+	return out, nil
+}
+
+// runIndependent is the parallel scheduler for thermally non-carrying
+// jobs: each job simulates from cc.InitialTempsC on its own engine, the
+// worker pool bounds concurrency, and results are reassembled in input
+// order so the aggregate (summed in job order) is byte-identical to a
+// one-worker run.
+func runIndependent(cc CampaignConfig, jobs []Job) (*CampaignResult, error) {
+	if cc.GapS != 0 {
+		return nil, errors.New("sim: independent campaign cannot have idle gaps (no carried state to cool)")
+	}
+	// Governors are stateful, so two parallel jobs driving the same
+	// instance would be a data race. Best-effort guard: reject reuse of
+	// the same pointer (or other reference-kind value — map, slice,
+	// func, chan) across jobs. Plain value-typed governors with value
+	// receivers are boxed immutably in the interface and safe to share;
+	// a value type smuggling interior pointers cannot be detected here,
+	// which is why the CampaignConfig contract still says "each job
+	// needs its own Governor instance".
+	sharedGov := make(map[uintptr]int, len(jobs))
+	for i, j := range jobs {
+		if j.Governor == nil {
+			continue
+		}
+		v := reflect.ValueOf(j.Governor)
+		switch v.Kind() {
+		case reflect.Pointer, reflect.Map, reflect.Slice, reflect.Func, reflect.Chan, reflect.UnsafePointer:
+			if prev, ok := sharedGov[v.Pointer()]; ok {
+				return nil, fmt.Errorf("sim: independent campaign jobs %d and %d share one governor instance; governors are stateful — give each job its own", prev, i)
+			}
+			sharedGov[v.Pointer()] = i
+		}
+	}
+	results := make([]*Result, len(jobs))
+	finals := make([][]float64, len(jobs))
+	if err := par.ForEach(cc.Workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		e, err := New(Config{
+			Platform:        cc.Platform,
+			Net:             cc.Net,
+			App:             j.App,
+			Map:             j.Map,
+			Part:            j.Part,
+			Freq:            j.Freq,
+			Governor:        j.Governor,
+			HotplugUnused:   j.HotplugUnused,
+			TickS:           cc.TickS,
+			MaxTimeS:        cc.MaxTimeS,
+			PkgBaselineFrac: cc.PkgBaselineFrac,
+			InitialTempsC:   cc.InitialTempsC,
+		})
+		if err != nil {
+			return fmt.Errorf("sim: campaign job %d (%s): %w", i, j.App.Name, err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("sim: campaign job %d (%s): %w", i, j.App.Name, err)
+		}
+		results[i] = res
+		finals[i] = e.FinalTemps()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := &CampaignResult{Jobs: results}
+	for _, res := range results {
+		out.TotalTimeS += res.ExecTimeS
+		out.TotalEnergyJ += res.EnergyJ
+		if res.PeakTempC > out.PeakTempC {
+			out.PeakTempC = res.PeakTempC
+		}
+	}
+	out.FinalTempsC = finals[len(finals)-1]
 	return out, nil
 }
 

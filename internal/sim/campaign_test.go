@@ -105,6 +105,127 @@ func TestCampaignRegulated(t *testing.T) {
 	}
 }
 
+// Independent campaigns reject idle gaps: with no carried state there is
+// nothing to cool.
+func TestCampaignIndependentRejectsGap(t *testing.T) {
+	cc := campaignConfig()
+	cc.Independent = true
+	cc.GapS = 2
+	if _, err := RunCampaign(cc, []Job{job(workload.Covariance())}); err == nil {
+		t.Error("independent campaign with a gap should error")
+	}
+}
+
+// Sharing one stateful governor instance across parallel jobs is a data
+// race; the scheduler rejects pointer-identical reuse up front. Sharing
+// a value-typed (stateless) governor is fine.
+func TestCampaignIndependentRejectsSharedGovernor(t *testing.T) {
+	cc := campaignConfig()
+	cc.Independent = true
+
+	shared := &floorGov2{}
+	j1, j2 := job(workload.Covariance()), job(workload.Syrk())
+	j1.Governor, j2.Governor = shared, shared
+	if _, err := RunCampaign(cc, []Job{j1, j2}); err == nil {
+		t.Error("shared pointer governor across independent jobs should error")
+	}
+
+	j1.Governor, j2.Governor = &floorGov2{}, &floorGov2{}
+	if _, err := RunCampaign(cc, []Job{j1, j2}); err != nil {
+		t.Errorf("distinct governor instances should run: %v", err)
+	}
+
+	// Value-typed governors are boxed immutably — sharing is safe.
+	val := floorGov{}
+	j1.Governor, j2.Governor = val, val
+	if _, err := RunCampaign(cc, []Job{j1, j2}); err != nil {
+		t.Errorf("shared value-typed governor should run: %v", err)
+	}
+}
+
+// floorGov2 is a pointer-receiver twin of floorGov so the shared-governor
+// guard has a stateful-looking instance to reject.
+type floorGov2 struct{ acts int }
+
+func (*floorGov2) Name() string     { return "floor2" }
+func (*floorGov2) PeriodS() float64 { return 0.5 }
+func (g *floorGov2) Start(m Machine) error {
+	return floorGov{}.Start(m)
+}
+func (g *floorGov2) Act(m Machine) error {
+	g.acts++
+	return m.SetClusterFreqMHz("A15", 1400)
+}
+
+// Every independent job starts from the same initial state, so identical
+// jobs produce identical results — no carry-over.
+func TestCampaignIndependentColdStarts(t *testing.T) {
+	cc := campaignConfig()
+	cc.Independent = true
+	jobs := []Job{job(workload.Covariance()), job(workload.Covariance())}
+	res, err := RunCampaign(cc, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Jobs[0], res.Jobs[1]
+	if a.ExecTimeS != b.ExecTimeS || a.EnergyJ != b.EnergyJ || a.AvgTempC != b.AvgTempC {
+		t.Errorf("independent identical jobs differ: (%.3f s, %.1f J, %.2f °C) vs (%.3f s, %.1f J, %.2f °C)",
+			a.ExecTimeS, a.EnergyJ, a.AvgTempC, b.ExecTimeS, b.EnergyJ, b.AvgTempC)
+	}
+	if res.TotalTimeS != a.ExecTimeS+b.ExecTimeS {
+		t.Error("totals not aggregated in job order")
+	}
+}
+
+// The parallel scheduler must be invisible in the results: a 4-worker
+// independent campaign matches a 1-worker one exactly, job by job.
+func TestCampaignIndependentParallelMatchesSerial(t *testing.T) {
+	jobs := []Job{
+		job(workload.Covariance()),
+		job(workload.Syrk()),
+		job(workload.Mvt()),
+		job(workload.Covariance()),
+	}
+	serialCC := campaignConfig()
+	serialCC.Independent = true
+	serialCC.Workers = 1
+	serial, err := RunCampaign(serialCC, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCC := campaignConfig()
+	parCC.Independent = true
+	parCC.Workers = 4
+	parallel, err := RunCampaign(parCC, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Jobs) != len(parallel.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(serial.Jobs), len(parallel.Jobs))
+	}
+	for i := range serial.Jobs {
+		s, p := serial.Jobs[i], parallel.Jobs[i]
+		if s.ExecTimeS != p.ExecTimeS || s.EnergyJ != p.EnergyJ ||
+			s.AvgTempC != p.AvgTempC || s.PeakTempC != p.PeakTempC ||
+			s.TempVarC2 != p.TempVarC2 || s.FreqTransitions != p.FreqTransitions {
+			t.Errorf("job %d differs between serial and parallel scheduling", i)
+		}
+	}
+	if serial.TotalTimeS != parallel.TotalTimeS || serial.TotalEnergyJ != parallel.TotalEnergyJ ||
+		serial.PeakTempC != parallel.PeakTempC {
+		t.Error("aggregates differ between serial and parallel scheduling")
+	}
+	if len(serial.FinalTempsC) != len(parallel.FinalTempsC) {
+		t.Fatal("final temps length differs")
+	}
+	for i := range serial.FinalTempsC {
+		if serial.FinalTempsC[i] != parallel.FinalTempsC[i] {
+			t.Error("final temps differ between serial and parallel scheduling")
+			break
+		}
+	}
+}
+
 // floorGov is a minimal thermally safe governor for the campaign test:
 // it pins the big cluster at 1400 MHz (the TEEM floor) and everything
 // else at max, without importing internal/core (import cycle).

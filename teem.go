@@ -211,7 +211,10 @@ type (
 
 // RunCampaign executes jobs sequentially with thermal state carried
 // across job boundaries (and optional idle gaps) — the thermal situation
-// a real device lives in.
+// a real device lives in. Setting CampaignConfig.Independent instead
+// schedules the jobs as thermally non-carrying experiments across a
+// bounded worker pool (CampaignConfig.Workers); results keep job order,
+// so parallel output is identical to serial output.
 func RunCampaign(cc CampaignConfig, jobs []Job) (*CampaignResult, error) {
 	return sim.RunCampaign(cc, jobs)
 }
@@ -320,8 +323,15 @@ func FitRegression(d *Dataset) (*RegressionModel, error) { return regress.Fit(d)
 
 // --- experiments -------------------------------------------------------------------
 
-// Experiments regenerates the paper's tables and figures.
+// Experiments regenerates the paper's tables and figures. It is a
+// parallel experiment engine: Fig. 5 rows, sweep points and design-space
+// enumeration fan out across a bounded worker pool, with caches that are
+// single-flight (concurrent callers of the same experiment share one
+// computation) and output byte-identical to a serial run.
 type Experiments = experiments.Env
+
+// ExperimentOptions configure the engine (worker-pool bound).
+type ExperimentOptions = experiments.Options
 
 // Fig1Result, Fig5Result and ModelResult carry experiment outputs.
 type (
@@ -331,5 +341,11 @@ type (
 )
 
 // NewExperiments builds the default experiment environment (Exynos 5422,
-// paper parameters).
+// paper parameters, one worker per CPU).
 func NewExperiments() (*Experiments, error) { return experiments.NewEnv() }
+
+// NewExperimentsWith builds the experiment environment with explicit
+// options (e.g. Workers: 1 for the serial path).
+func NewExperimentsWith(o ExperimentOptions) (*Experiments, error) {
+	return experiments.NewEnvWith(o)
+}
