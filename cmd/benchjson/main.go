@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// JSON snapshot, so the performance trajectory of the hot paths (sim tick,
+// Fig. 5 serial/parallel, thermal stepping) is tracked as a machine-readable
+// artifact across PRs.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=... -benchmem ./... | benchjson -out BENCH_2026-07-28.json
+//
+// With -out "" the JSON goes to stdout. Non-benchmark lines are ignored, so
+// the full `go test` stream can be piped straight in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// HasMem records whether -benchmem columns were present (so a true
+	// zero allocs/op is distinguishable from "not measured").
+	HasMem bool `json:"has_mem"`
+}
+
+// Snapshot is the emitted document.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default: stdout)")
+	flag.Parse()
+
+	snap := Snapshot{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// parseLine recognises benchmark result lines such as
+//
+//	BenchmarkSimRun-4   3360   347015 ns/op   186872 B/op   46 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	// Strip the -GOMAXPROCS suffix so names are stable across runners.
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	// The remaining fields come in value/unit pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+			b.HasMem = true
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+			b.HasMem = true
+		}
+	}
+	if b.NsPerOp == 0 && !b.HasMem {
+		return Benchmark{}, false
+	}
+	return b, true
+}

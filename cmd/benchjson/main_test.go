@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkSimRun-4   \t3360\t   347015 ns/op\t  186872 B/op\t      46 allocs/op")
+	if !ok {
+		t.Fatal("parseLine rejected a valid -benchmem line")
+	}
+	if b.Name != "BenchmarkSimRun" {
+		t.Errorf("Name = %q, want BenchmarkSimRun (GOMAXPROCS suffix stripped)", b.Name)
+	}
+	if b.Iterations != 3360 || b.NsPerOp != 347015 || b.BytesPerOp != 186872 || b.AllocsPerOp != 46 || !b.HasMem {
+		t.Errorf("parsed %+v", b)
+	}
+
+	b, ok = parseLine("BenchmarkStep \t15378547\t        71.54 ns/op")
+	if !ok || b.NsPerOp != 71.54 || b.HasMem {
+		t.Errorf("plain ns/op line parsed as %+v ok=%v", b, ok)
+	}
+
+	for _, line := range []string{
+		"ok  \tteem/internal/sim\t1.529s",
+		"PASS",
+		"goos: linux",
+		"Benchmark",                   // no fields
+		"BenchmarkX notanint 3 ns/op", // bad iteration count
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}
+
+func TestParseLineKeepsNonNumericSuffix(t *testing.T) {
+	b, ok := parseLine("BenchmarkFig5-row-abc 10 5 ns/op")
+	if !ok || b.Name != "BenchmarkFig5-row-abc" {
+		t.Errorf("non-numeric suffix mangled: %+v ok=%v", b, ok)
+	}
+}

@@ -25,3 +25,24 @@ func BenchmarkEvaluate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEvaluateInto measures the allocation-free evaluation path used
+// by the simulation tick loop.
+func BenchmarkEvaluateInto(b *testing.B) {
+	m, err := NewModel(soc.Exynos5422())
+	if err != nil {
+		b.Fatal(err)
+	}
+	loads := []ClusterLoad{
+		{FreqMHz: 2000, ActiveCores: 4, OnCores: 4, Utilization: 1, Activity: 0.8, TempC: 90},
+		{FreqMHz: 1400, ActiveCores: 4, OnCores: 4, Utilization: 1, Activity: 0.8, TempC: 75},
+		{FreqMHz: 600, ActiveCores: 6, OnCores: 6, Utilization: 1, Activity: 0.8, TempC: 80},
+	}
+	var bd Breakdown
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.EvaluateInto(&bd, loads, 2.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package power
 
 import (
 	"fmt"
+	"sync"
 
 	"teem/internal/soc"
 )
@@ -72,6 +73,12 @@ func (b *Breakdown) ClusterW(i int) float64 { return b.DynamicW[i] + b.LeakageW[
 // Model evaluates platform power.
 type Model struct {
 	plat *soc.Platform
+	// volt memoises the per-cluster OPP voltage lookup (frequency in
+	// MHz → rail voltage). It is built lazily on the first derived
+	// lookup (callers that always pass ClusterLoad.VoltV never pay for
+	// it) and read-only after, so a Model is safe for concurrent use.
+	voltOnce sync.Once
+	volt     []map[int]float64
 }
 
 // NewModel returns a power model for the platform.
@@ -80,6 +87,28 @@ func NewModel(p *soc.Platform) (*Model, error) {
 		return nil, err
 	}
 	return &Model{plat: p}, nil
+}
+
+// voltageFor returns the rail voltage for cluster i at the given
+// frequency, memoising the per-OPP table on first use.
+func (m *Model) voltageFor(i, freqMHz int) float64 {
+	m.voltOnce.Do(func() {
+		volt := make([]map[int]float64, len(m.plat.Clusters))
+		for ci := range m.plat.Clusters {
+			c := &m.plat.Clusters[ci]
+			volt[ci] = make(map[int]float64, c.NumOPPs())
+			for _, opp := range c.OPPs {
+				volt[ci][opp.FreqMHz] = opp.VoltV
+			}
+		}
+		m.volt = volt
+	})
+	if v, ok := m.volt[i][freqMHz]; ok {
+		return v
+	}
+	// Off-OPP frequency: fall back to the table scan, snapping up like
+	// the regulator would.
+	return m.plat.Clusters[i].VoltageAt(freqMHz)
 }
 
 // Platform returns the platform this model evaluates.
@@ -107,7 +136,7 @@ func (m *Model) ClusterPower(i int, l ClusterLoad) (dynW, leakW float64, err err
 	}
 	v := l.VoltV
 	if v == 0 {
-		v = c.VoltageAt(l.FreqMHz)
+		v = m.voltageFor(i, l.FreqMHz)
 	}
 	fHz := float64(l.FreqMHz) * 1e6
 	// CdynCoreNF is in nF = 1e-9 F.
@@ -123,27 +152,46 @@ func (m *Model) ClusterPower(i int, l ClusterLoad) (dynW, leakW float64, err err
 // Evaluate computes the full board power breakdown. loads must have one
 // entry per platform cluster; memGBs is the aggregate DRAM traffic in GB/s.
 func (m *Model) Evaluate(loads []ClusterLoad, memGBs float64) (*Breakdown, error) {
+	b := &Breakdown{}
+	if err := m.EvaluateInto(b, loads, memGBs); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// EvaluateInto computes the full board power breakdown into the
+// caller-owned b, reusing its slices when they have capacity — the
+// zero-allocation path of the per-tick co-simulation loop. On error b is
+// left unspecified.
+func (m *Model) EvaluateInto(b *Breakdown, loads []ClusterLoad, memGBs float64) error {
 	if len(loads) != len(m.plat.Clusters) {
-		return nil, fmt.Errorf("power: got %d loads for %d clusters", len(loads), len(m.plat.Clusters))
+		return fmt.Errorf("power: got %d loads for %d clusters", len(loads), len(m.plat.Clusters))
 	}
 	if memGBs < 0 {
-		return nil, fmt.Errorf("power: negative memory traffic %g", memGBs)
+		return fmt.Errorf("power: negative memory traffic %g", memGBs)
 	}
-	b := &Breakdown{
-		DynamicW:  make([]float64, len(loads)),
-		LeakageW:  make([]float64, len(loads)),
-		DRAMW:     memGBs * m.plat.DRAMPowerPerGBs,
-		BaselineW: m.plat.BoardBaselineW,
-	}
+	b.DynamicW = growFloats(b.DynamicW, len(loads))
+	b.LeakageW = growFloats(b.LeakageW, len(loads))
+	b.DRAMW = memGBs * m.plat.DRAMPowerPerGBs
+	b.BaselineW = m.plat.BoardBaselineW
 	for i, l := range loads {
 		d, lk, err := m.ClusterPower(i, l)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b.DynamicW[i] = d
 		b.LeakageW[i] = lk
 	}
-	return b, nil
+	return nil
+}
+
+// growFloats returns s resized to n, reusing its backing array when large
+// enough.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // IdleLoads returns a load vector describing a fully idle platform (all

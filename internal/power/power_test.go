@@ -222,3 +222,88 @@ func TestPowerMonotoneInCoresProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// EvaluateInto must produce exactly what Evaluate produces, reusing the
+// caller's slices, with zero allocations once the Breakdown is sized.
+func TestEvaluateIntoMatchesEvaluate(t *testing.T) {
+	m := newModel(t)
+	loads := []ClusterLoad{
+		{FreqMHz: 1800, ActiveCores: 3, OnCores: 4, Utilization: 0.9, Activity: 0.7, TempC: 82},
+		{FreqMHz: 1400, ActiveCores: 2, OnCores: 4, Utilization: 0.9, Activity: 0.7, TempC: 70},
+		{FreqMHz: 600, ActiveCores: 6, OnCores: 6, Utilization: 1, Activity: 0.8, TempC: 78},
+	}
+	want, err := m.Evaluate(loads, 3.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Breakdown
+	if err := m.EvaluateInto(&got, loads, 3.1); err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalW() != want.TotalW() || got.DRAMW != want.DRAMW || got.BaselineW != want.BaselineW {
+		t.Errorf("EvaluateInto = %+v, want %+v", got, *want)
+	}
+	for i := range want.DynamicW {
+		if got.DynamicW[i] != want.DynamicW[i] || got.LeakageW[i] != want.LeakageW[i] {
+			t.Errorf("cluster %d: got (%g,%g), want (%g,%g)",
+				i, got.DynamicW[i], got.LeakageW[i], want.DynamicW[i], want.LeakageW[i])
+		}
+	}
+	// Slices must be reused across calls.
+	d0 := &got.DynamicW[0]
+	if err := m.EvaluateInto(&got, loads, 3.1); err != nil {
+		t.Fatal(err)
+	}
+	if d0 != &got.DynamicW[0] {
+		t.Error("EvaluateInto reallocated an adequately sized slice")
+	}
+	if avg := testing.AllocsPerRun(500, func() {
+		if err := m.EvaluateInto(&got, loads, 3.1); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("EvaluateInto allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// EvaluateInto must validate like Evaluate.
+func TestEvaluateIntoValidation(t *testing.T) {
+	m := newModel(t)
+	var b Breakdown
+	if err := m.EvaluateInto(&b, []ClusterLoad{{FreqMHz: 1000}}, 0); err == nil {
+		t.Error("EvaluateInto accepted a wrong-length load vector")
+	}
+	loads := IdleLoads(m.Platform(), 40)
+	if err := m.EvaluateInto(&b, loads, -1); err == nil {
+		t.Error("EvaluateInto accepted negative memory traffic")
+	}
+}
+
+// The memoised voltage table must agree with the OPP scan, including
+// off-OPP frequencies that snap up.
+func TestVoltageMemoMatchesScan(t *testing.T) {
+	plat := soc.Exynos5422()
+	m, err := NewModel(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range plat.Clusters {
+		c := &plat.Clusters[ci]
+		freqs := []int{c.MinFreqMHz(), c.MaxFreqMHz(), c.OPPs[len(c.OPPs)/2].FreqMHz, c.MinFreqMHz() + 1}
+		for _, f := range freqs {
+			l := ClusterLoad{FreqMHz: f, ActiveCores: 1, OnCores: c.NumCores, Utilization: 1, Activity: 1, TempC: 50}
+			d1, lk1, err := m.ClusterPower(ci, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.VoltV = c.VoltageAt(f)
+			d2, lk2, err := m.ClusterPower(ci, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d1 != d2 || lk1 != lk2 {
+				t.Errorf("cluster %s @ %d MHz: memo (%g,%g) vs scan (%g,%g)", c.Name, f, d1, lk1, d2, lk2)
+			}
+		}
+	}
+}

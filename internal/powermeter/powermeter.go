@@ -8,6 +8,7 @@ package powermeter
 import (
 	"errors"
 	"math"
+	"slices"
 )
 
 // Meter is a sampling power meter.
@@ -26,6 +27,15 @@ type Meter struct {
 
 // New returns a meter with the Smart Power 2 defaults: 1 Hz, 0.01 W.
 func New() *Meter { return &Meter{PeriodS: 1.0, ResolutionW: 0.01} }
+
+// Reserve pre-sizes the sample buffer for about n further samples, so a
+// caller that knows its run length (MaxTimeS / PeriodS) can keep the
+// observe path allocation-free.
+func (m *Meter) Reserve(n int) {
+	if n > 0 {
+		m.samples = slices.Grow(m.samples, n)
+	}
+}
 
 // Reset clears accumulated samples.
 func (m *Meter) Reset() {

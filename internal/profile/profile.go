@@ -36,11 +36,20 @@ type PointEval struct {
 	ETS, ECJ, ATC, PTC float64
 }
 
-// Evaluator predicts design-point behaviour on a platform.
+// Evaluator predicts design-point behaviour on a platform. It is safe for
+// concurrent use: the cached thermal model is only read (SteadyState works
+// on its own copies).
 type Evaluator struct {
 	plat *soc.Platform
 	net  *thermal.Network
 	pow  *power.Model
+	// therm is built once; SteadyState never mutates model state, so
+	// sweeping a design space does not rebuild the RC system per point.
+	therm *thermal.Model
+	// nodeOf caches each cluster's thermal node; pkgNode the "pkg"
+	// node (-1 when absent).
+	nodeOf  []int
+	pkgNode int
 }
 
 // NewEvaluator builds an evaluator.
@@ -58,7 +67,26 @@ func NewEvaluator(plat *soc.Platform, net *thermal.Network) (*Evaluator, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Evaluator{plat: plat, net: net, pow: pm}, nil
+	tm, err := thermal.NewModel(net, plat.AmbientC)
+	if err != nil {
+		return nil, err
+	}
+	nodeOf := make([]int, len(plat.Clusters))
+	for i := range plat.Clusters {
+		n := net.NodeIndex(plat.Clusters[i].Name)
+		if n < 0 {
+			return nil, fmt.Errorf("profile: thermal network lacks a node for cluster %s", plat.Clusters[i].Name)
+		}
+		nodeOf[i] = n
+	}
+	return &Evaluator{
+		plat:    plat,
+		net:     net,
+		pow:     pm,
+		therm:   tm,
+		nodeOf:  nodeOf,
+		pkgNode: net.NodeIndex("pkg"),
+	}, nil
 }
 
 // Evaluate analytically predicts one design point: chunk times from the
@@ -140,17 +168,16 @@ func (ev *Evaluator) steady(app *workload.App, dp mapping.DesignPoint, fb, fl, f
 	for i := range temps {
 		temps[i] = 60 // reasonable operating seed
 	}
-	therm, err := thermal.NewModel(ev.net, ev.plat.AmbientC)
-	if err != nil {
-		return nil, nil, err
-	}
-	var bd *power.Breakdown
+	var (
+		bd    *power.Breakdown
+		err   error
+		loads = make([]power.ClusterLoad, len(ev.plat.Clusters))
+		inj   = make([]float64, len(ev.net.Nodes))
+	)
 	for iter := 0; iter < 4; iter++ {
-		loads := make([]power.ClusterLoad, len(ev.plat.Clusters))
 		for i := range ev.plat.Clusters {
 			c := &ev.plat.Clusters[i]
-			node := ev.net.NodeIndex(c.Name)
-			l := power.ClusterLoad{FreqMHz: maxFreqFor(c, fb, fl, fg), TempC: temps[node], Activity: 1}
+			l := power.ClusterLoad{FreqMHz: maxFreqFor(c, fb, fl, fg), TempC: temps[ev.nodeOf[i]], Activity: 1}
 			switch c.Kind {
 			case soc.BigCPU:
 				l.ActiveCores = dp.Map.Big
@@ -186,15 +213,16 @@ func (ev *Evaluator) steady(app *workload.App, dp mapping.DesignPoint, fb, fl, f
 		if err != nil {
 			return nil, nil, err
 		}
-		inj := make([]float64, len(ev.net.Nodes))
+		for i := range inj {
+			inj[i] = 0
+		}
 		for i := range ev.plat.Clusters {
-			inj[ev.net.NodeIndex(ev.plat.Clusters[i].Name)] += bd.ClusterW(i)
+			inj[ev.nodeOf[i]] += bd.ClusterW(i)
 		}
-		pkg := ev.net.NodeIndex("pkg")
-		if pkg >= 0 {
-			inj[pkg] += bd.DRAMW + 0.5*bd.BaselineW
+		if ev.pkgNode >= 0 {
+			inj[ev.pkgNode] += bd.DRAMW + 0.5*bd.BaselineW
 		}
-		temps, err = therm.SteadyState(inj)
+		temps, err = ev.therm.SteadyState(inj)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+
+	"teem/internal/mapping"
+	"teem/internal/soc"
+	"teem/internal/thermal"
+	"teem/internal/workload"
+)
+
+// The steady-state simulation tick must not touch the heap: power
+// evaluation, thermal stepping, metering and trace recording all reuse
+// engine-owned buffers. This is the allocation-regression guard for the
+// whole hot path; the sibling guards in internal/thermal pin the
+// integrators on their own.
+func TestTickZeroAllocs(t *testing.T) {
+	e, err := New(Config{
+		Platform: soc.Exynos5422(),
+		Net:      thermal.Exynos5422Network(),
+		App:      workload.Covariance(),
+		Map:      mapping.Mapping{Big: 3, Little: 2, UseGPU: true},
+		Part:     mapping.Partition{Num: 4, Den: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.01
+	e.govEvery = 0
+	e.recEvery = 10
+	// Warm up a few ticks: the first peak-temperature snapshot and the
+	// lazily created first trace arena block may allocate once.
+	for i := 0; i < 50; i++ {
+		if _, err := e.tick(dt); err != nil {
+			t.Fatal(err)
+		}
+		e.timeTicks++
+	}
+	if avg := testing.AllocsPerRun(2000, func() {
+		if _, err := e.tick(dt); err != nil {
+			t.Fatal(err)
+		}
+		e.timeTicks++
+	}); avg != 0 {
+		t.Errorf("steady-state tick allocates %.3f objects/op, want 0", avg)
+	}
+}
+
+// The Euler reference integrator path must stay allocation-free too.
+func TestTickZeroAllocsEulerIntegrator(t *testing.T) {
+	e, err := New(Config{
+		Platform:   soc.Exynos5422(),
+		Net:        thermal.Exynos5422Network(),
+		App:        workload.Covariance(),
+		Map:        mapping.Mapping{Big: 3, Little: 2, UseGPU: true},
+		Part:       mapping.Partition{Num: 4, Den: 8},
+		Integrator: IntegratorEuler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.01
+	e.govEvery = 0
+	e.recEvery = 10
+	for i := 0; i < 50; i++ {
+		if _, err := e.tick(dt); err != nil {
+			t.Fatal(err)
+		}
+		e.timeTicks++
+	}
+	if avg := testing.AllocsPerRun(2000, func() {
+		if _, err := e.tick(dt); err != nil {
+			t.Fatal(err)
+		}
+		e.timeTicks++
+	}); avg != 0 {
+		t.Errorf("steady-state Euler tick allocates %.3f objects/op, want 0", avg)
+	}
+}

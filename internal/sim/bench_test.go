@@ -32,6 +32,33 @@ func BenchmarkEngineSecond(b *testing.B) {
 	}
 }
 
+// BenchmarkSimRun measures a complete end-to-end run of the Fig. 1
+// workload at fixed frequencies: engine construction plus the full tick
+// loop until the application finishes (~17 s of simulated time).
+func BenchmarkSimRun(b *testing.B) {
+	cfg := Config{
+		Platform: soc.Exynos5422(),
+		Net:      thermal.Exynos5422Network(),
+		App:      workload.Covariance(),
+		Map:      mapping.Mapping{Big: 3, Little: 2, UseGPU: true},
+		Part:     mapping.Partition{Num: 4, Den: 8},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("run did not complete")
+		}
+	}
+}
+
 // BenchmarkRunWarmCovariance measures a complete steady-regime protocol
 // run of the Fig. 1 configuration.
 func BenchmarkRunWarmCovariance(b *testing.B) {

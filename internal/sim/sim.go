@@ -7,6 +7,12 @@
 // 95 °C, cap the big cluster at 900 MHz, release below the hysteresis
 // point) runs independently of software policy, exactly like the firmware
 // the paper's baselines rely on.
+//
+// The tick loop is allocation-free at steady state: thermal stepping uses
+// a precomputed exact propagator (thermal.Stepper), power evaluation
+// writes into an engine-owned breakdown (power.EvaluateInto), node and
+// sensor lookups are index maps built once at New, and the trace and
+// meter are pre-sized for the configured run length.
 package sim
 
 import (
@@ -60,6 +66,19 @@ type Governor interface {
 	Act(m Machine) error
 }
 
+// Integrator selects the thermal stepping scheme of a run.
+type Integrator int
+
+const (
+	// IntegratorExact advances the RC network with the precomputed
+	// exact discrete-time propagator (the default: unconditionally
+	// stable, zero-allocation, exact for piecewise-constant power).
+	IntegratorExact Integrator = iota
+	// IntegratorEuler uses the substepped explicit-Euler reference
+	// integrator — useful for cross-checking and regression hunting.
+	IntegratorEuler
+)
+
 // Config assembles a simulation.
 type Config struct {
 	// Platform is the hardware description (required).
@@ -97,6 +116,9 @@ type Config struct {
 	InitialTempsC []float64
 	// SensorQuantizeC quantises sensor reads (default 0 = exact).
 	SensorQuantizeC float64
+	// Integrator selects the thermal stepping scheme (default:
+	// IntegratorExact).
+	Integrator Integrator
 }
 
 // Result summarises a run.
@@ -129,12 +151,13 @@ type Result struct {
 
 // Engine executes one configured run.
 type Engine struct {
-	cfg   Config
-	plat  *soc.Platform
-	therm *thermal.Model
-	pow   *power.Model
-	meter *powermeter.Meter
-	tr    *trace.Trace
+	cfg     Config
+	plat    *soc.Platform
+	therm   *thermal.Model
+	stepper *thermal.Stepper
+	pow     *power.Model
+	meter   *powermeter.Meter
+	tr      *trace.Trace
 
 	// cluster bookkeeping, indexed like plat.Clusters
 	freqs   []int
@@ -144,6 +167,30 @@ type Engine struct {
 	bigIdx  int // cluster index of the big CPU
 	gpuIdx  int
 	litIdx  int
+
+	// lookup caches built at New so governor reads and the tick loop
+	// never scan strings or construct sensors.
+	sensors    map[string]thermal.Sensor
+	clusterIdx map[string]int
+
+	// per-tick scratch state, reused so the steady-state tick performs
+	// zero heap allocations. loads carries the configuration-static
+	// fields (core counts, activity) from New; ticks only refresh
+	// frequency, voltage, temperature and utilisation.
+	loads    []power.ClusterLoad
+	bd       power.Breakdown
+	inj      []float64
+	recTemps []float64
+	govEvery int
+	recEvery int
+
+	// volts caches the rail voltage of each cluster's current
+	// frequency; rateCPU/rateGPU cache the roofline work-item rates.
+	// All three change only on a DVFS transition (ratesDirty).
+	volts      []float64
+	rateCPU    float64
+	rateGPU    float64
+	ratesDirty bool
 
 	remCPU, remGPU float64 // remaining work-items
 	timeTicks      int
@@ -199,19 +246,28 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	var stepper *thermal.Stepper
+	if cfg.Integrator == IntegratorExact {
+		if stepper, err = therm.NewStepper(cfg.TickS); err != nil {
+			return nil, err
+		}
+	}
 	pow, err := power.NewModel(cfg.Platform)
 	if err != nil {
 		return nil, err
 	}
 
 	e := &Engine{
-		cfg:   cfg,
-		plat:  cfg.Platform,
-		therm: therm,
-		pow:   pow,
-		meter: powermeter.New(),
+		cfg:     cfg,
+		plat:    cfg.Platform,
+		therm:   therm,
+		stepper: stepper,
+		pow:     pow,
+		meter:   powermeter.New(),
 	}
+	e.meter.Reserve(int(cfg.MaxTimeS) + 2)
 	e.nodeOf = make([]int, len(cfg.Platform.Clusters))
+	e.clusterIdx = make(map[string]int, len(cfg.Platform.Clusters))
 	for i := range cfg.Platform.Clusters {
 		name := cfg.Platform.Clusters[i].Name
 		n := cfg.Net.NodeIndex(name)
@@ -219,6 +275,7 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("sim: thermal network lacks a node for cluster %s", name)
 		}
 		e.nodeOf[i] = n
+		e.clusterIdx[name] = i
 		switch cfg.Platform.Clusters[i].Kind {
 		case soc.BigCPU:
 			e.bigIdx = i
@@ -232,6 +289,10 @@ func New(cfg Config) (*Engine, error) {
 	if e.pkgNode < 0 {
 		return nil, errors.New(`sim: thermal network lacks a "pkg" node`)
 	}
+	e.sensors = make(map[string]thermal.Sensor, len(cfg.Net.Nodes))
+	for i := range cfg.Net.Nodes {
+		e.sensors[cfg.Net.Nodes[i].Name] = thermal.Sensor{Node: i, QuantizeC: cfg.SensorQuantizeC}
+	}
 
 	if cfg.InitialTempsC != nil {
 		if err := therm.SetTemps(cfg.InitialTempsC); err != nil {
@@ -240,18 +301,62 @@ func New(cfg Config) (*Engine, error) {
 	}
 
 	e.freqs = make([]int, len(cfg.Platform.Clusters))
+	e.volts = make([]float64, len(cfg.Platform.Clusters))
 	e.utils = make([]float64, len(cfg.Platform.Clusters))
+	e.loads = make([]power.ClusterLoad, len(cfg.Platform.Clusters))
+	e.bd = power.Breakdown{
+		DynamicW: make([]float64, len(cfg.Platform.Clusters)),
+		LeakageW: make([]float64, len(cfg.Platform.Clusters)),
+	}
+	e.inj = make([]float64, len(cfg.Net.Nodes))
+	e.recTemps = make([]float64, len(cfg.Net.Nodes))
+	e.ratesDirty = true
 	setDefault := func(idx, req int) {
 		c := &e.plat.Clusters[idx]
 		if req == 0 {
-			e.freqs[idx] = c.MaxFreqMHz()
+			e.setFreq(idx, c.MaxFreqMHz())
 		} else {
-			e.freqs[idx] = c.NearestOPP(req).FreqMHz
+			e.setFreq(idx, c.NearestOPP(req).FreqMHz)
 		}
 	}
 	setDefault(e.bigIdx, cfg.Freq.BigMHz)
 	setDefault(e.litIdx, cfg.Freq.LittleMHz)
 	setDefault(e.gpuIdx, cfg.Freq.GPUMHz)
+
+	// Configuration-static load fields; the tick loop only refreshes
+	// frequency, voltage, temperature and utilisation.
+	for i := range cfg.Platform.Clusters {
+		c := &cfg.Platform.Clusters[i]
+		l := power.ClusterLoad{Activity: 1}
+		switch i {
+		case e.bigIdx:
+			l.ActiveCores = cfg.Map.Big
+			l.OnCores = c.NumCores
+			if cfg.HotplugUnused {
+				l.OnCores = cfg.Map.Big
+			}
+			l.Activity = cfg.App.ActivityCPU
+		case e.litIdx:
+			l.ActiveCores = cfg.Map.Little
+			l.OnCores = c.NumCores
+			if cfg.HotplugUnused {
+				l.OnCores = cfg.Map.Little
+			}
+			l.Activity = cfg.App.ActivityCPU
+		case e.gpuIdx:
+			l.ActiveCores = c.NumCores
+			l.OnCores = c.NumCores
+			if cfg.HotplugUnused && !cfg.Map.UseGPU {
+				l.ActiveCores = 0
+				l.OnCores = 0
+			}
+			if !cfg.Map.UseGPU {
+				l.ActiveCores = 0
+			}
+			l.Activity = cfg.App.ActivityGPU
+		}
+		e.loads[i] = l
+	}
 
 	nodeNames := make([]string, len(cfg.Net.Nodes))
 	for i, n := range cfg.Net.Nodes {
@@ -261,7 +366,7 @@ func New(cfg Config) (*Engine, error) {
 	for i := range cfg.Platform.Clusters {
 		clusterNames[i] = cfg.Platform.Clusters[i].Name
 	}
-	e.tr = trace.New(nodeNames, clusterNames)
+	e.tr = trace.NewWithCap(nodeNames, clusterNames, int(cfg.MaxTimeS/cfg.RecordPeriodS)+2)
 
 	total := float64(cfg.App.WorkItems)
 	cpuItems := float64(cfg.Part.CPUItems(cfg.App.WorkItems))
@@ -276,6 +381,26 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// setFreq is the single write path for cluster frequencies: it refreshes
+// the cached rail voltage and invalidates the cached work-item rates.
+func (e *Engine) setFreq(i, mhz int) {
+	e.freqs[i] = mhz
+	e.volts[i] = e.plat.Clusters[i].VoltageAt(mhz)
+	e.ratesDirty = true
+}
+
+// rates returns the roofline work-item rates for the current frequencies,
+// recomputing them only after a DVFS transition.
+func (e *Engine) rates() (rateCPU, rateGPU float64) {
+	if e.ratesDirty {
+		m := e.cfg.Map
+		e.rateCPU = e.cfg.App.CPURate(m.Big, m.Little, e.freqs[e.bigIdx], e.freqs[e.litIdx])
+		e.rateGPU = e.cfg.App.GPURate(e.plat.Clusters[e.gpuIdx].NumCores, e.freqs[e.gpuIdx])
+		e.ratesDirty = false
+	}
+	return e.rateCPU, e.rateGPU
+}
+
 // --- Machine interface ------------------------------------------------------
 
 // TimeS implements Machine.
@@ -286,18 +411,17 @@ func (e *Engine) Platform() *soc.Platform { return e.plat }
 
 // SensorC implements Machine.
 func (e *Engine) SensorC(node string) float64 {
-	i := e.cfg.Net.NodeIndex(node)
-	if i < 0 {
+	s, ok := e.sensors[node]
+	if !ok {
 		return 0
 	}
-	s := thermal.Sensor{Node: i, QuantizeC: e.cfg.SensorQuantizeC}
 	return s.Read(e.therm)
 }
 
 // ClusterFreqMHz implements Machine.
 func (e *Engine) ClusterFreqMHz(cluster string) int {
-	i := e.plat.ClusterIndex(cluster)
-	if i < 0 {
+	i, ok := e.clusterIdx[cluster]
+	if !ok {
 		return 0
 	}
 	return e.freqs[i]
@@ -305,8 +429,8 @@ func (e *Engine) ClusterFreqMHz(cluster string) int {
 
 // SetClusterFreqMHz implements Machine.
 func (e *Engine) SetClusterFreqMHz(cluster string, mhz int) error {
-	i := e.plat.ClusterIndex(cluster)
-	if i < 0 {
+	i, ok := e.clusterIdx[cluster]
+	if !ok {
 		return fmt.Errorf("sim: unknown cluster %q", cluster)
 	}
 	c := &e.plat.Clusters[i]
@@ -318,7 +442,7 @@ func (e *Engine) SetClusterFreqMHz(cluster string, mhz int) error {
 		f = c.FloorOPP(e.plat.TripCapMHz).FreqMHz
 	}
 	if f != e.freqs[i] {
-		e.freqs[i] = f
+		e.setFreq(i, f)
 		e.transitions++
 	}
 	return nil
@@ -326,8 +450,8 @@ func (e *Engine) SetClusterFreqMHz(cluster string, mhz int) error {
 
 // ClusterUtil implements Machine.
 func (e *Engine) ClusterUtil(cluster string) float64 {
-	i := e.plat.ClusterIndex(cluster)
-	if i < 0 {
+	i, ok := e.clusterIdx[cluster]
+	if !ok {
 		return 0
 	}
 	return e.utils[i]
@@ -351,65 +475,32 @@ func (e *Engine) Run() (*Result, error) {
 	if e.remGPU > 0 {
 		e.utils[e.gpuIdx] = 1
 	}
-	govEvery := 0
+	e.govEvery = 0
 	if e.cfg.Governor != nil {
 		p := e.cfg.Governor.PeriodS()
 		if p <= 0 {
 			return nil, fmt.Errorf("sim: governor %s has non-positive period", e.cfg.Governor.Name())
 		}
-		govEvery = int(p/dt + 0.5)
-		if govEvery < 1 {
-			govEvery = 1
+		e.govEvery = int(p/dt + 0.5)
+		if e.govEvery < 1 {
+			e.govEvery = 1
 		}
 		if err := e.cfg.Governor.Start(e); err != nil {
 			return nil, err
 		}
 	}
-	recEvery := int(e.cfg.RecordPeriodS/dt + 0.5)
-	if recEvery < 1 {
-		recEvery = 1
+	e.recEvery = int(e.cfg.RecordPeriodS/dt + 0.5)
+	if e.recEvery < 1 {
+		e.recEvery = 1
 	}
 	maxTicks := int(e.cfg.MaxTimeS / dt)
 
 	var execTime float64
 	completed := false
 	for ; e.timeTicks < maxTicks; e.timeTicks++ {
-		// Hardware thermal protection (checked every tick, like the
-		// TMU interrupt).
-		if !e.cfg.DisableHWProtect {
-			e.hwProtect()
-		}
-		// Governor control step.
-		if govEvery > 0 && e.timeTicks%govEvery == 0 {
-			if err := e.cfg.Governor.Act(e); err != nil {
-				return nil, err
-			}
-		}
-		// Advance workload.
-		busyFracCPU, busyFracGPU, finishedAt := e.advanceWork(dt)
-		e.utils[e.bigIdx] = busyFracCPU
-		e.utils[e.litIdx] = busyFracCPU
-		e.utils[e.gpuIdx] = busyFracGPU
-
-		// Power and thermal.
-		bd, err := e.evalPower(busyFracCPU, busyFracGPU)
+		finishedAt, err := e.tick(dt)
 		if err != nil {
 			return nil, err
-		}
-		if err := e.stepThermal(bd, dt); err != nil {
-			return nil, err
-		}
-		if t := e.therm.Temp(e.nodeOf[e.bigIdx]); t > e.peakBigC {
-			e.peakBigC = t
-			e.peakTemps = e.therm.Temps()
-		}
-		if err := e.meter.Observe(e.TimeS(), bd.TotalW()); err != nil {
-			return nil, err
-		}
-		if e.timeTicks%recEvery == 0 {
-			if err := e.record(bd); err != nil {
-				return nil, err
-			}
 		}
 		if finishedAt >= 0 {
 			execTime = float64(e.timeTicks)*dt + finishedAt
@@ -422,8 +513,8 @@ func (e *Engine) Run() (*Result, error) {
 		execTime = float64(e.timeTicks) * dt
 	}
 	// Final trace sample so metrics cover the full run.
-	if bd, err := e.evalPower(0, 0); err == nil {
-		_ = e.record(bd)
+	if err := e.evalPower(0, 0, 0, 0); err == nil {
+		_ = e.record(e.bd.TotalW())
 	}
 
 	bigNode := e.nodeOf[e.bigIdx]
@@ -444,6 +535,54 @@ func (e *Engine) Run() (*Result, error) {
 	return res, nil
 }
 
+// tick advances one simulation step of dt seconds: hardware protection,
+// governor control, workload, power, thermal, metering and trace
+// recording. It allocates nothing at steady state. A non-negative
+// finishedAt is the in-tick offset at which the workload completed.
+func (e *Engine) tick(dt float64) (finishedAt float64, err error) {
+	// Hardware thermal protection (checked every tick, like the TMU
+	// interrupt).
+	if !e.cfg.DisableHWProtect {
+		e.hwProtect()
+	}
+	// Governor control step.
+	if e.govEvery > 0 && e.timeTicks%e.govEvery == 0 {
+		if err := e.cfg.Governor.Act(e); err != nil {
+			return -1, err
+		}
+	}
+	// Advance workload.
+	cpuBusy, gpuBusy, rateCPU, rateGPU, finishedAt := e.advanceWork(dt)
+	e.utils[e.bigIdx] = cpuBusy
+	e.utils[e.litIdx] = cpuBusy
+	e.utils[e.gpuIdx] = gpuBusy
+
+	// Power and thermal.
+	if err := e.evalPower(cpuBusy, gpuBusy, rateCPU, rateGPU); err != nil {
+		return -1, err
+	}
+	if err := e.stepThermal(dt); err != nil {
+		return -1, err
+	}
+	if t := e.therm.Temp(e.nodeOf[e.bigIdx]); t > e.peakBigC {
+		e.peakBigC = t
+		if e.peakTemps == nil {
+			e.peakTemps = make([]float64, len(e.cfg.Net.Nodes))
+		}
+		e.therm.CopyTemps(e.peakTemps)
+	}
+	total := e.bd.TotalW()
+	if err := e.meter.Observe(e.TimeS(), total); err != nil {
+		return -1, err
+	}
+	if e.timeTicks%e.recEvery == 0 {
+		if err := e.record(total); err != nil {
+			return -1, err
+		}
+	}
+	return finishedAt, nil
+}
+
 // hwProtect applies the firmware trip/release behaviour on the big cluster.
 func (e *Engine) hwProtect() {
 	bigNode := e.nodeOf[e.bigIdx]
@@ -456,34 +595,33 @@ func (e *Engine) hwProtect() {
 		e.preThrottleMHz = e.freqs[e.bigIdx]
 		capMHz := big.FloorOPP(e.plat.TripCapMHz).FreqMHz
 		if e.freqs[e.bigIdx] > capMHz {
-			e.freqs[e.bigIdx] = capMHz
+			e.setFreq(e.bigIdx, capMHz)
 			e.transitions++
 		}
 	case e.throttled && t < e.plat.TripReleaseC:
 		e.throttled = false
 		if e.preThrottleMHz > e.freqs[e.bigIdx] {
-			e.freqs[e.bigIdx] = e.preThrottleMHz
+			e.setFreq(e.bigIdx, e.preThrottleMHz)
 			e.transitions++
 		}
 	}
 }
 
 // advanceWork moves the CPU and GPU chunks forward by up to dt and returns
-// the busy fractions of the tick plus, when everything finished inside the
-// tick, the offset (< dt) at which the last chunk completed (-1 otherwise).
-func (e *Engine) advanceWork(dt float64) (cpuBusy, gpuBusy, finishedAt float64) {
+// the busy fractions of the tick, the work-item rates in effect (for the
+// memory-traffic model, avoiding a second roofline evaluation) plus, when
+// everything finished inside the tick, the offset (< dt) at which the last
+// chunk completed (-1 otherwise).
+func (e *Engine) advanceWork(dt float64) (cpuBusy, gpuBusy, rateCPU, rateGPU, finishedAt float64) {
 	finishedAt = -1
-	app := e.cfg.App
-	m := e.cfg.Map
-
 	cpuBusy = 0
 	cpuDone := e.remCPU <= 0
 	if !cpuDone {
-		rate := app.CPURate(m.Big, m.Little, e.freqs[e.bigIdx], e.freqs[e.litIdx])
-		if rate > 0 {
-			need := e.remCPU / rate
+		rateCPU, _ = e.rates()
+		if rateCPU > 0 {
+			need := e.remCPU / rateCPU
 			if need >= dt {
-				e.remCPU -= rate * dt
+				e.remCPU -= rateCPU * dt
 				cpuBusy = 1
 			} else {
 				e.remCPU = 0
@@ -494,12 +632,11 @@ func (e *Engine) advanceWork(dt float64) (cpuBusy, gpuBusy, finishedAt float64) 
 	gpuBusy = 0
 	gpuDone := e.remGPU <= 0
 	if !gpuDone {
-		nSh := e.plat.Clusters[e.gpuIdx].NumCores
-		rate := app.GPURate(nSh, e.freqs[e.gpuIdx])
-		if rate > 0 {
-			need := e.remGPU / rate
+		_, rateGPU = e.rates()
+		if rateGPU > 0 {
+			need := e.remGPU / rateGPU
 			if need >= dt {
-				e.remGPU -= rate * dt
+				e.remGPU -= rateGPU * dt
 				gpuBusy = 1
 			} else {
 				e.remGPU = 0
@@ -517,101 +654,87 @@ func (e *Engine) advanceWork(dt float64) (cpuBusy, gpuBusy, finishedAt float64) 
 		// If both were already done before this tick, off is 0.
 		finishedAt = off
 	}
-	return cpuBusy, gpuBusy, finishedAt
+	return cpuBusy, gpuBusy, rateCPU, rateGPU, finishedAt
 }
 
-// evalPower builds per-cluster loads for the current tick.
-func (e *Engine) evalPower(cpuBusy, gpuBusy float64) (*power.Breakdown, error) {
-	app := e.cfg.App
-	m := e.cfg.Map
-	loads := make([]power.ClusterLoad, len(e.plat.Clusters))
-	for i := range e.plat.Clusters {
-		c := &e.plat.Clusters[i]
-		l := power.ClusterLoad{
-			FreqMHz:  e.freqs[i],
-			TempC:    e.therm.Temp(e.nodeOf[i]),
-			Activity: 1,
-		}
+// evalPower builds per-cluster loads for the current tick and evaluates
+// the board power into the engine-owned breakdown. rateCPU/rateGPU are the
+// work-item rates advanceWork ran at (consulted only when the matching
+// busy fraction is non-zero).
+func (e *Engine) evalPower(cpuBusy, gpuBusy, rateCPU, rateGPU float64) error {
+	for i := range e.loads {
+		l := &e.loads[i]
+		l.FreqMHz = e.freqs[i]
+		l.VoltV = e.volts[i]
+		l.TempC = e.therm.Temp(e.nodeOf[i])
+		var busy float64
 		switch i {
-		case e.bigIdx:
-			l.ActiveCores = m.Big
-			l.OnCores = c.NumCores
-			if e.cfg.HotplugUnused {
-				l.OnCores = m.Big
-			}
-			l.Utilization = cpuBusy
-			l.Activity = app.ActivityCPU
-		case e.litIdx:
-			l.ActiveCores = m.Little
-			l.OnCores = c.NumCores
-			if e.cfg.HotplugUnused {
-				l.OnCores = m.Little
-			}
-			l.Utilization = cpuBusy
-			l.Activity = app.ActivityCPU
+		case e.bigIdx, e.litIdx:
+			busy = cpuBusy
 		case e.gpuIdx:
-			l.ActiveCores = c.NumCores
-			l.OnCores = c.NumCores
-			if e.cfg.HotplugUnused && !m.UseGPU {
-				l.ActiveCores = 0
-				l.OnCores = 0
-			}
-			if !m.UseGPU {
-				l.ActiveCores = 0
-			}
-			l.Utilization = gpuBusy
-			l.Activity = app.ActivityGPU
+			busy = gpuBusy
 		}
 		if l.ActiveCores == 0 {
-			l.Utilization = 0
+			busy = 0
 		}
-		loads[i] = l
+		l.Utilization = busy
 	}
 	// Memory traffic follows the aggregate processing rate.
-	rCPU := 0.0
+	memRate := 0.0
 	if cpuBusy > 0 {
-		rCPU = app.CPURate(m.Big, m.Little, e.freqs[e.bigIdx], e.freqs[e.litIdx]) * cpuBusy
+		memRate += rateCPU * cpuBusy
 	}
-	rGPU := 0.0
 	if gpuBusy > 0 {
-		rGPU = app.GPURate(e.plat.Clusters[e.gpuIdx].NumCores, e.freqs[e.gpuIdx]) * gpuBusy
+		memRate += rateGPU * gpuBusy
 	}
-	return e.pow.Evaluate(loads, app.MemGBs(rCPU+rGPU))
+	return e.pow.EvaluateInto(&e.bd, e.loads, e.cfg.App.MemGBs(memRate))
 }
 
-// stepThermal injects the power breakdown into the RC network.
-func (e *Engine) stepThermal(bd *power.Breakdown, dt float64) error {
-	inj := make([]float64, len(e.cfg.Net.Nodes))
+// stepThermal injects the power breakdown into the RC network. The exact
+// propagator covers the fixed tick; Euler handles explicitly requested
+// reference runs and any off-tick step.
+func (e *Engine) stepThermal(dt float64) error {
+	for i := range e.inj {
+		e.inj[i] = 0
+	}
 	for i := range e.plat.Clusters {
-		inj[e.nodeOf[i]] += bd.ClusterW(i)
+		e.inj[e.nodeOf[i]] += e.bd.ClusterW(i)
 	}
-	inj[e.pkgNode] += bd.DRAMW + e.cfg.PkgBaselineFrac*bd.BaselineW
-	return e.therm.Step(inj, dt)
+	e.inj[e.pkgNode] += e.bd.DRAMW + e.cfg.PkgBaselineFrac*e.bd.BaselineW
+	if e.stepper != nil && dt == e.stepper.Dt() {
+		return e.stepper.Step(e.inj)
+	}
+	return e.therm.Step(e.inj, dt)
 }
 
-// record appends a trace sample.
-func (e *Engine) record(bd *power.Breakdown) error {
+// record appends a trace sample; Append copies, so the engine's scratch
+// buffers can be handed over directly.
+func (e *Engine) record(totalW float64) error {
+	e.therm.CopyTemps(e.recTemps)
 	return e.tr.Append(trace.Sample{
 		TimeS:    e.TimeS(),
-		TempsC:   e.therm.Temps(),
-		FreqsMHz: append([]int(nil), e.freqs...),
-		PowerW:   bd.TotalW(),
-		Utils:    append([]float64(nil), e.utils...),
+		TempsC:   e.recTemps,
+		FreqsMHz: e.freqs,
+		PowerW:   totalW,
+		Utils:    e.utils,
 	})
 }
 
 // SteadyTemps computes the equilibrium temperatures of a hypothetical
 // constant operating point — used by warm-start helpers and calibration.
 func (e *Engine) SteadyTemps(cpuBusy, gpuBusy float64) ([]float64, error) {
-	bd, err := e.evalPower(cpuBusy, gpuBusy)
-	if err != nil {
+	app := e.cfg.App
+	m := e.cfg.Map
+	rateCPU := app.CPURate(m.Big, m.Little, e.freqs[e.bigIdx], e.freqs[e.litIdx])
+	rateGPU := app.GPURate(e.plat.Clusters[e.gpuIdx].NumCores, e.freqs[e.gpuIdx])
+	if err := e.evalPower(cpuBusy, gpuBusy, rateCPU, rateGPU); err != nil {
 		return nil, err
 	}
 	inj := make([]float64, len(e.cfg.Net.Nodes))
 	for i := range e.plat.Clusters {
-		inj[e.nodeOf[i]] += bd.ClusterW(i)
+		inj[e.nodeOf[i]] += e.bd.ClusterW(i)
 	}
-	inj[e.pkgNode] += bd.DRAMW + e.cfg.PkgBaselineFrac*bd.BaselineW
+	inj[e.pkgNode] += e.bd.DRAMW + e.cfg.PkgBaselineFrac*e.bd.BaselineW
 	return e.therm.SteadyState(inj)
 }
 
@@ -640,7 +763,12 @@ func (e *Engine) SetAmbientC(t float64) { e.therm.SetAmbientC(t) }
 // PeakTemps returns the node temperatures at the moment the big cluster
 // was hottest during the run (nil before Run). This is the thermal
 // operating regime a back-to-back benchmark campaign sits in.
-func (e *Engine) PeakTemps() []float64 { return e.peakTemps }
+func (e *Engine) PeakTemps() []float64 {
+	if e.peakTemps == nil {
+		return nil
+	}
+	return append([]float64(nil), e.peakTemps...)
+}
 
 // RunWarm reproduces the paper's measurement protocol: execute the job
 // once as a discarded warm-up (starting from WarmStartTemps) so the

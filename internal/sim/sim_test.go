@@ -373,3 +373,47 @@ func TestHWProtectionSafetyProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The exact propagator and the Euler reference integrator must tell the
+// same story at the simulation level: identical completion, near-identical
+// time/energy/temperature metrics (the integrators differ only by the
+// Euler discretisation error).
+func TestIntegratorsAgree(t *testing.T) {
+	base := Config{
+		Platform: soc.Exynos5422(),
+		Net:      thermal.Exynos5422Network(),
+		App:      workload.Covariance(),
+		Map:      mapping.Mapping{Big: 3, Little: 2, UseGPU: true},
+		Part:     mapping.Partition{Num: 4, Den: 8},
+	}
+	run := func(integ Integrator) *Result {
+		cfg := base
+		cfg.Integrator = integ
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	exact := run(IntegratorExact)
+	euler := run(IntegratorEuler)
+	if exact.Completed != euler.Completed {
+		t.Fatalf("completion mismatch: exact %v vs euler %v", exact.Completed, euler.Completed)
+	}
+	if d := math.Abs(exact.ExecTimeS - euler.ExecTimeS); d > 0.05 {
+		t.Errorf("ExecTimeS differs by %.3f s (exact %.3f, euler %.3f)", d, exact.ExecTimeS, euler.ExecTimeS)
+	}
+	if d := math.Abs(exact.AvgTempC - euler.AvgTempC); d > 0.1 {
+		t.Errorf("AvgTempC differs by %.3f °C (exact %.2f, euler %.2f)", d, exact.AvgTempC, euler.AvgTempC)
+	}
+	if d := math.Abs(exact.PeakTempC - euler.PeakTempC); d > 0.2 {
+		t.Errorf("PeakTempC differs by %.3f °C (exact %.2f, euler %.2f)", d, exact.PeakTempC, euler.PeakTempC)
+	}
+	if rel := math.Abs(exact.EnergyJ-euler.EnergyJ) / euler.EnergyJ; rel > 0.01 {
+		t.Errorf("EnergyJ differs by %.2f%% (exact %.1f, euler %.1f)", 100*rel, exact.EnergyJ, euler.EnergyJ)
+	}
+}

@@ -18,6 +18,26 @@ func BenchmarkStep(b *testing.B) {
 	}
 }
 
+// BenchmarkStepperStep measures one 10 ms exact-propagator step — the
+// integrator behind every co-simulation tick.
+func BenchmarkStepperStep(b *testing.B) {
+	m, err := NewModel(Exynos5422Network(), 28)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := m.NewStepper(0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := []float64{4.5, 0.4, 2.6, 1.85}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSteadyState measures the direct equilibrium solve used by the
 // analytic design-point evaluator.
 func BenchmarkSteadyState(b *testing.B) {

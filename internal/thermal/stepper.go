@@ -1,0 +1,282 @@
+// Exact discrete-time thermal stepping. Within a control interval the
+// lumped RC system is linear time-invariant,
+//
+//	C·dT/dt = −G·T + P + gAmb·Tamb,
+//
+// so for a fixed step dt the update has the closed form
+//
+//	T(t+dt) = A·T(t) + B·(P + gAmb·Tamb),
+//	A = exp(M·dt),  B = (∫₀^dt exp(M·s) ds)·C⁻¹,  M = −C⁻¹·G,
+//
+// (Bhat et al., "Analysis and Control of Power-Temperature Dynamics in
+// Heterogeneous Multiprocessors"). A and B are precomputed once by
+// scaling-and-squaring, so a step is one dense matrix-vector product:
+// unconditionally stable, exact for piecewise-constant power, and free of
+// the Euler substep loop.
+
+package thermal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Stepper advances a Model by a fixed time step using the exact
+// discrete-time propagator. It is bound to the Model it was created from
+// and updates that model's temperatures in place; Step performs zero heap
+// allocations. A Stepper must not be shared across goroutines.
+type Stepper struct {
+	m  *Model
+	dt float64
+	// a is exp(M·dt), flat row-major n×n.
+	a []float64
+	// bp maps the power vector to its temperature contribution:
+	// bp = (∫₀^dt exp(M·s) ds)·C⁻¹, flat row-major n×n.
+	bp []float64
+	// ambGain[i] = Σ_j bp[i][j]·gAmb[j]; multiplied by the ambient
+	// temperature each step, so SetAmbientC keeps working mid-run.
+	ambGain []float64
+	scratch []float64
+}
+
+// propagator holds the shared, read-only precomputed matrices of one
+// (conductance system, dt) pair. Campaign-style workloads construct many
+// engines over the same network, so the matrix exponential is computed
+// once per distinct system and reused via propCache.
+type propagator struct {
+	a, bp, ambGain []float64
+}
+
+// propCache maps the exact conductance-system content + dt (see propKey)
+// to its propagator. Content-keyed, so mutating a Network and rebuilding a
+// Model can never see a stale entry. Admission is bounded by
+// propCacheLimit: a sweep over thousands of distinct candidate networks
+// computes its propagators directly instead of growing the cache without
+// bound (campaign workloads reuse a handful of systems, which is what the
+// cache is for).
+var (
+	propCache      sync.Map
+	propCacheCount atomic.Int64
+)
+
+const propCacheLimit = 64
+
+// propKey serialises the full discrete-time system definition: dt, the
+// conductance matrix, ambient conductances and inverse heat capacities.
+func propKey(m *Model, dt float64) string {
+	buf := make([]byte, 0, 8*(len(m.g)+2*len(m.gAmb)+1))
+	put := func(v float64) {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	put(dt)
+	for _, v := range m.g {
+		put(v)
+	}
+	for _, v := range m.gAmb {
+		put(v)
+	}
+	for _, v := range m.invC {
+		put(v)
+	}
+	return string(buf)
+}
+
+// NewStepper precomputes the exact propagator of the model's RC system for
+// the given fixed step (seconds).
+func (m *Model) NewStepper(dt float64) (*Stepper, error) {
+	if dt <= 0 {
+		return nil, errors.New("thermal: stepper needs a positive time step")
+	}
+	n := m.n
+	key := propKey(m, dt)
+	if v, ok := propCache.Load(key); ok {
+		p := v.(*propagator)
+		return &Stepper{
+			m:       m,
+			dt:      dt,
+			a:       p.a,
+			bp:      p.bp,
+			ambGain: p.ambGain,
+			scratch: make([]float64, n),
+		}, nil
+	}
+	// H = M·dt = −C⁻¹·G·dt.
+	h := make([]float64, n*n)
+	m.laplacian(h)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			h[i*n+j] *= -m.invC[i] * dt
+		}
+	}
+	a, f, err := expmWithIntegral(h, n)
+	if err != nil {
+		return nil, err
+	}
+	// f is ∫₀^1 exp(H·u) du in the scaled time variable; the physical
+	// integral is dt·f, and folding in C⁻¹ gives the power-to-ΔT map.
+	s := &Stepper{
+		m:       m,
+		dt:      dt,
+		a:       a,
+		bp:      f,
+		ambGain: make([]float64, n),
+		scratch: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s.bp[i*n+j] *= dt * m.invC[j]
+		}
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			acc += s.bp[i*n+j] * m.gAmb[j]
+		}
+		s.ambGain[i] = acc
+	}
+	if propCacheCount.Load() < propCacheLimit {
+		if _, loaded := propCache.LoadOrStore(key, &propagator{a: s.a, bp: s.bp, ambGain: s.ambGain}); !loaded {
+			propCacheCount.Add(1)
+		}
+	}
+	return s, nil
+}
+
+// Model returns the model this stepper advances.
+func (s *Stepper) Model() *Model { return s.m }
+
+// Dt returns the fixed step the propagator was built for.
+func (s *Stepper) Dt() float64 { return s.dt }
+
+// Step advances the bound model by the stepper's fixed dt with the given
+// per-node power injection in watts. It allocates nothing.
+func (s *Stepper) Step(powerW []float64) error {
+	n := s.m.n
+	if len(powerW) != n {
+		return fmt.Errorf("thermal: Step got %d powers, want %d", len(powerW), n)
+	}
+	temps := s.m.temps[:n]
+	powerW = powerW[:n]
+	amb := s.m.ambientC
+	scratch := s.scratch[:n]
+	if n == 4 {
+		// Unrolled fast path for the ubiquitous 4-node MPSoC network
+		// (big, LITTLE, GPU, package).
+		t0, t1, t2, t3 := temps[0], temps[1], temps[2], temps[3]
+		p0, p1, p2, p3 := powerW[0], powerW[1], powerW[2], powerW[3]
+		a, b, g := s.a, s.bp, s.ambGain
+		temps[0] = g[0]*amb + a[0]*t0 + a[1]*t1 + a[2]*t2 + a[3]*t3 + b[0]*p0 + b[1]*p1 + b[2]*p2 + b[3]*p3
+		temps[1] = g[1]*amb + a[4]*t0 + a[5]*t1 + a[6]*t2 + a[7]*t3 + b[4]*p0 + b[5]*p1 + b[6]*p2 + b[7]*p3
+		temps[2] = g[2]*amb + a[8]*t0 + a[9]*t1 + a[10]*t2 + a[11]*t3 + b[8]*p0 + b[9]*p1 + b[10]*p2 + b[11]*p3
+		temps[3] = g[3]*amb + a[12]*t0 + a[13]*t1 + a[14]*t2 + a[15]*t3 + b[12]*p0 + b[13]*p1 + b[14]*p2 + b[15]*p3
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		acc := s.ambGain[i] * amb
+		ar := s.a[i*n : i*n+n : i*n+n]
+		br := s.bp[i*n : i*n+n : i*n+n]
+		for j := range ar {
+			acc += ar[j]*temps[j] + br[j]*powerW[j]
+		}
+		scratch[i] = acc
+	}
+	copy(temps, scratch)
+	return nil
+}
+
+// expmWithIntegral computes E = exp(H) and F = ∫₀^1 exp(H·u) du for a flat
+// row-major n×n matrix by scaling-and-squaring over a Taylor expansion.
+// The doubling identities are E(2h) = E(h)² and F(2h) = ½(I + E(h))·F(h)
+// (in the normalised variable, the integral over [0,2h] splits into
+// [0,h] + e^{Mh}[h,2h] and is renormalised by the factor ½).
+func expmWithIntegral(h []float64, n int) (e, f []float64, err error) {
+	norm := 0.0
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := 0; j < n; j++ {
+			row += math.Abs(h[i*n+j])
+		}
+		if row > norm {
+			norm = row
+		}
+	}
+	if math.IsNaN(norm) || math.IsInf(norm, 0) {
+		return nil, nil, errors.New("thermal: non-finite propagator matrix")
+	}
+	// Scale H so the Taylor series of exp converges fast: ‖H‖/2^s ≤ 0.5.
+	squarings := 0
+	for scaled := norm; scaled > 0.5; scaled /= 2 {
+		squarings++
+	}
+	inv := math.Ldexp(1, -squarings) // 2^-squarings
+	hs := make([]float64, n*n)
+	for i := range h {
+		hs[i] = h[i] * inv
+	}
+
+	// Taylor: E = Σ Hs^k/k!, F = Σ Hs^k/(k+1)! (both in the scaled
+	// variable, F normalised to the unit interval).
+	e = identity(n)
+	f = identity(n)
+	term := identity(n)
+	tmp := make([]float64, n*n)
+	for k := 1; k <= 40; k++ {
+		matMul(tmp, term, hs, n)
+		maxAbs := 0.0
+		for i := range tmp {
+			term[i] = tmp[i] / float64(k)
+			if a := math.Abs(term[i]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for i := range e {
+			e[i] += term[i]
+			f[i] += term[i] / float64(k+1)
+		}
+		if maxAbs < 1e-19 {
+			break
+		}
+	}
+
+	// Undo the scaling: square E and fold F up with it.
+	for s := 0; s < squarings; s++ {
+		// F ← ½(I + E)·F before E is squared.
+		copy(tmp, f)
+		matMul(f, e, tmp, n)
+		for i := range f {
+			f[i] = 0.5 * (f[i] + tmp[i])
+		}
+		matMul(tmp, e, e, n)
+		copy(e, tmp)
+	}
+	for i := range e {
+		if math.IsNaN(e[i]) || math.IsInf(e[i], 0) || math.IsNaN(f[i]) || math.IsInf(f[i], 0) {
+			return nil, nil, errors.New("thermal: propagator did not converge")
+		}
+	}
+	return e, f, nil
+}
+
+func identity(n int) []float64 {
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		m[i*n+i] = 1
+	}
+	return m
+}
+
+// matMul computes dst = a·b for flat row-major n×n matrices; dst must not
+// alias a or b.
+func matMul(dst, a, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * b[k*n+j]
+			}
+			dst[i*n+j] = acc
+		}
+	}
+}

@@ -2,11 +2,16 @@
 // node per heat source (CPU clusters, GPU, SoC package) connected by
 // thermal resistances, with the ambient as a fixed-temperature boundary.
 //
-// The integrator is explicit Euler with automatic substepping (stable for
-// any step because substeps are chosen well below the smallest node time
-// constant); a direct linear steady-state solver cross-checks it and powers
-// calibration tests. Sensors mimic the Exynos TMU: per-node readings with
-// optional 1 °C quantisation.
+// Two integrators are available. Model.Step is explicit Euler with
+// automatic substepping (stable for any step because substeps are chosen
+// well below the smallest node time constant) and serves as the reference
+// integrator and the path for non-uniform steps. Stepper precomputes the
+// exact discrete-time propagator for a fixed step — the lumped system is
+// linear time-invariant within a control interval, so one matrix-vector
+// product per tick replaces the substep loop with zero error and zero heap
+// allocations. A direct linear steady-state solver cross-checks both and
+// powers calibration tests. Sensors mimic the Exynos TMU: per-node
+// readings with optional 1 °C quantisation.
 package thermal
 
 import (
@@ -99,12 +104,22 @@ type Model struct {
 	net      *Network
 	ambientC float64
 	temps    []float64
-	// conductance matrix: g[i][j] = 1/R between i and j; gAmb[i] to
-	// ambient. Precomputed from links.
-	g    [][]float64
+	n        int
+	// Conductance matrix, flat row-major: g[i*n+j] = 1/R between i and
+	// j; gAmb[i] to ambient. Precomputed from links.
+	g    []float64
 	gAmb []float64
+	// invC[i] = 1 / Nodes[i].HeatCapJ.
+	invC []float64
+	// CSR-style neighbour list over the non-zero off-diagonal
+	// conductances, for the sparse Euler inner loop.
+	nbrStart []int32
+	nbrIdx   []int32
+	nbrG     []float64
 	// maxSubstep is the largest stable Euler step (s).
 	maxSubstep float64
+	// scratch holds the next-state vector during a substep.
+	scratch []float64
 }
 
 // NewModel builds a model with every node starting at ambient temperature.
@@ -117,34 +132,46 @@ func NewModel(net *Network, ambientC float64) (*Model, error) {
 		net:      net,
 		ambientC: ambientC,
 		temps:    make([]float64, n),
-		g:        make([][]float64, n),
+		n:        n,
+		g:        make([]float64, n*n),
 		gAmb:     make([]float64, n),
-	}
-	for i := range m.g {
-		m.g[i] = make([]float64, n)
+		invC:     make([]float64, n),
+		scratch:  make([]float64, n),
 	}
 	for _, l := range net.Links {
 		c := 1 / l.ResCW
 		if l.B == Ambient {
 			m.gAmb[l.A] += c
 		} else {
-			m.g[l.A][l.B] += c
-			m.g[l.B][l.A] += c
+			m.g[l.A*n+l.B] += c
+			m.g[l.B*n+l.A] += c
 		}
 	}
+	m.nbrStart = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		m.nbrStart[i] = int32(len(m.nbrIdx))
+		for j := 0; j < n; j++ {
+			if g := m.g[i*n+j]; g != 0 {
+				m.nbrIdx = append(m.nbrIdx, int32(j))
+				m.nbrG = append(m.nbrG, g)
+			}
+		}
+	}
+	m.nbrStart[n] = int32(len(m.nbrIdx))
 	// Stability: explicit Euler needs dt < C_i / Σg_i for every node;
 	// use a 5x margin.
 	minTau := math.Inf(1)
 	for i := range net.Nodes {
 		sum := m.gAmb[i]
-		for j := range net.Nodes {
-			sum += m.g[i][j]
+		for j := 0; j < n; j++ {
+			sum += m.g[i*n+j]
 		}
 		if sum > 0 {
 			if tau := net.Nodes[i].HeatCapJ / sum; tau < minTau {
 				minTau = tau
 			}
 		}
+		m.invC[i] = 1 / net.Nodes[i].HeatCapJ
 	}
 	m.maxSubstep = minTau / 5
 	for i := range m.temps {
@@ -166,6 +193,10 @@ func (m *Model) SetAmbientC(t float64) { m.ambientC = t }
 // Temps returns a copy of the current node temperatures in °C.
 func (m *Model) Temps() []float64 { return append([]float64(nil), m.temps...) }
 
+// CopyTemps copies the current node temperatures into dst without
+// allocating and returns the number of values copied.
+func (m *Model) CopyTemps(dst []float64) int { return copy(dst, m.temps) }
+
 // Temp returns the temperature of node i.
 func (m *Model) Temp(i int) float64 { return m.temps[i] }
 
@@ -186,7 +217,10 @@ func (m *Model) Reset() {
 }
 
 // Step advances the model by dt seconds with the given per-node power
-// injection in watts.
+// injection in watts, using substepped explicit Euler. It performs no heap
+// allocations. For a fixed dt the exact Stepper is both faster and more
+// accurate; Step remains the reference integrator and handles non-uniform
+// steps.
 func (m *Model) Step(powerW []float64, dt float64) error {
 	if len(powerW) != len(m.temps) {
 		return fmt.Errorf("thermal: Step got %d powers, want %d", len(powerW), len(m.temps))
@@ -207,89 +241,111 @@ func (m *Model) Step(powerW []float64, dt float64) error {
 }
 
 func (m *Model) eulerStep(powerW []float64, h float64) {
-	n := len(m.temps)
-	next := make([]float64, n)
+	for i := 0; i < m.n; i++ {
+		ti := m.temps[i]
+		q := powerW[i] + m.gAmb[i]*(m.ambientC-ti)
+		for k := m.nbrStart[i]; k < m.nbrStart[i+1]; k++ {
+			q += m.nbrG[k] * (m.temps[m.nbrIdx[k]] - ti)
+		}
+		m.scratch[i] = ti + h*q*m.invC[i]
+	}
+	copy(m.temps, m.scratch)
+}
+
+// laplacian writes the conductance Laplacian (off-diagonal −g[i][j],
+// diagonal gAmb[i]+Σ_j g[i][j]) into dst, a flat row-major n×n slice.
+func (m *Model) laplacian(dst []float64) {
+	n := m.n
 	for i := 0; i < n; i++ {
-		q := powerW[i]
-		q += m.gAmb[i] * (m.ambientC - m.temps[i])
+		diag := m.gAmb[i]
 		for j := 0; j < n; j++ {
-			if g := m.g[i][j]; g != 0 {
-				q += g * (m.temps[j] - m.temps[i])
+			if i != j {
+				dst[i*n+j] = -m.g[i*n+j]
+				diag += m.g[i*n+j]
 			}
 		}
-		next[i] = m.temps[i] + h*q/m.net.Nodes[i].HeatCapJ
+		dst[i*n+i] = diag
 	}
-	copy(m.temps, next)
 }
 
 // SteadyState solves the equilibrium temperatures for constant power
 // injection without touching the model state.
 func (m *Model) SteadyState(powerW []float64) ([]float64, error) {
-	n := len(m.temps)
+	n := m.n
 	if len(powerW) != n {
 		return nil, fmt.Errorf("thermal: SteadyState got %d powers, want %d", len(powerW), n)
 	}
 	// G · T = P + gAmb·Tamb, where G is the conductance Laplacian plus
 	// ambient conductances on the diagonal.
-	a := make([][]float64, n)
+	a := make([]float64, n*n)
 	b := make([]float64, n)
+	m.laplacian(a)
 	for i := 0; i < n; i++ {
-		a[i] = make([]float64, n)
-		diag := m.gAmb[i]
-		for j := 0; j < n; j++ {
-			if i != j {
-				a[i][j] = -m.g[i][j]
-				diag += m.g[i][j]
-			}
-		}
-		a[i][i] = diag
 		b[i] = powerW[i] + m.gAmb[i]*m.ambientC
 	}
-	t, err := solveLinear(a, b)
-	if err != nil {
+	if err := solveLinear(a, b, n); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return b, nil
 }
 
-// solveLinear solves a·x = b by Gaussian elimination with partial pivoting.
-// The inputs are mutated.
-func solveLinear(a [][]float64, b []float64) ([]float64, error) {
-	n := len(b)
+// solveLinear solves a·x = b in place by Gaussian elimination with partial
+// pivoting; a is flat row-major n×n and b receives the solution. The
+// singularity test is relative to the matrix magnitude (a pivot below
+// 1e-12 × ‖A‖∞ counts as zero), so uniformly large conductance matrices
+// don't false-pass and uniformly tiny ones don't false-fail.
+func solveLinear(a, b []float64, n int) error {
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := 0; j < n; j++ {
+			row += math.Abs(a[i*n+j])
+		}
+		if row > anorm {
+			anorm = row
+		}
+	}
+	if anorm == 0 {
+		return errors.New("thermal: singular conductance matrix")
+	}
+	tol := 1e-12 * anorm
 	for col := 0; col < n; col++ {
 		// Pivot.
 		piv := col
 		for r := col + 1; r < n; r++ {
-			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+			if math.Abs(a[r*n+col]) > math.Abs(a[piv*n+col]) {
 				piv = r
 			}
 		}
-		if math.Abs(a[piv][col]) < 1e-15 {
-			return nil, errors.New("thermal: singular conductance matrix")
+		if math.Abs(a[piv*n+col]) < tol {
+			return errors.New("thermal: singular conductance matrix")
 		}
-		a[col], a[piv] = a[piv], a[col]
-		b[col], b[piv] = b[piv], b[col]
+		if piv != col {
+			for c := 0; c < n; c++ {
+				a[col*n+c], a[piv*n+c] = a[piv*n+c], a[col*n+c]
+			}
+			b[col], b[piv] = b[piv], b[col]
+		}
 		// Eliminate.
 		for r := col + 1; r < n; r++ {
-			f := a[r][col] / a[col][col]
+			f := a[r*n+col] / a[col*n+col]
 			if f == 0 {
 				continue
 			}
 			for c := col; c < n; c++ {
-				a[r][c] -= f * a[col][c]
+				a[r*n+c] -= f * a[col*n+c]
 			}
 			b[r] -= f * b[col]
 		}
 	}
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := b[i]
 		for j := i + 1; j < n; j++ {
-			s -= a[i][j] * x[j]
+			s -= a[i*n+j] * b[j]
 		}
-		x[i] = s / a[i][i]
+		b[i] = s / a[i*n+i]
 	}
-	return x, nil
+	return nil
 }
 
 // Sensor reads one node's temperature the way firmware sees it.

@@ -37,17 +37,57 @@ type Trace struct {
 	NodeNames    []string
 	ClusterNames []string
 	Samples      []Sample
+
+	// Sample slices are carved out of block arenas so the steady-state
+	// record path stays allocation-free. A full block is replaced, never
+	// grown in place, keeping previously handed-out sub-slices valid.
+	block  int
+	fArena []float64
+	iArena []int
 }
+
+// Arena block bounds, in samples. The block size follows the expected
+// sample count of NewWithCap within these limits, so short runs stay
+// compact and long runs amortise allocation to one block per
+// maxBlockSamples records.
+const (
+	minBlockSamples = 16
+	maxBlockSamples = 1024
+)
 
 // New creates an empty trace with the given series labels.
 func New(nodeNames, clusterNames []string) *Trace {
-	return &Trace{
-		NodeNames:    append([]string(nil), nodeNames...),
-		ClusterNames: append([]string(nil), clusterNames...),
-	}
+	return NewWithCap(nodeNames, clusterNames, 0)
 }
 
-// Append adds a sample; series lengths must match the labels.
+// NewWithCap creates an empty trace sized for an expected number of
+// samples (e.g. MaxTimeS/RecordPeriodS for a simulation run). The hint is
+// a capacity optimisation only: it sizes the arena blocks (bounded by
+// maxBlockSamples, so a huge hint cannot balloon one engine) and the
+// sample index, making appends allocation-free up to the first block and
+// allocation-amortised past it. The trace grows past the hint just fine;
+// zero means "unknown".
+func NewWithCap(nodeNames, clusterNames []string, expectedSamples int) *Trace {
+	block := expectedSamples
+	if block < minBlockSamples {
+		block = minBlockSamples
+	}
+	if block > maxBlockSamples {
+		block = maxBlockSamples
+	}
+	t := &Trace{
+		NodeNames:    append([]string(nil), nodeNames...),
+		ClusterNames: append([]string(nil), clusterNames...),
+		block:        block,
+	}
+	if expectedSamples > 0 {
+		t.Samples = make([]Sample, 0, block)
+	}
+	return t
+}
+
+// Append adds a sample; series lengths must match the labels. The sample's
+// slices are copied, so callers may reuse their buffers across calls.
 func (t *Trace) Append(s Sample) error {
 	if len(s.TempsC) != len(t.NodeNames) {
 		return fmt.Errorf("trace: sample has %d temps, want %d", len(s.TempsC), len(t.NodeNames))
@@ -58,11 +98,58 @@ func (t *Trace) Append(s Sample) error {
 	if len(t.Samples) > 0 && s.TimeS < t.Samples[len(t.Samples)-1].TimeS {
 		return errors.New("trace: samples must be appended in time order")
 	}
-	s.TempsC = append([]float64(nil), s.TempsC...)
-	s.FreqsMHz = append([]int(nil), s.FreqsMHz...)
-	s.Utils = append([]float64(nil), s.Utils...)
+	s.TempsC = t.copyFloats(s.TempsC)
+	s.Utils = t.copyFloats(s.Utils)
+	s.FreqsMHz = t.copyInts(s.FreqsMHz)
 	t.Samples = append(t.Samples, s)
 	return nil
+}
+
+// copyFloats copies src into arena-backed storage (nil stays nil, matching
+// a plain copying append).
+func (t *Trace) copyFloats(src []float64) []float64 {
+	if len(src) == 0 {
+		return nil
+	}
+	if t.block == 0 {
+		t.block = minBlockSamples
+	}
+	need := len(src)
+	if len(t.fArena)+need > cap(t.fArena) {
+		sz := t.block * (len(t.NodeNames) + len(t.ClusterNames))
+		if sz < need {
+			sz = need
+		}
+		t.fArena = make([]float64, 0, sz)
+	}
+	base := len(t.fArena)
+	t.fArena = t.fArena[:base+need]
+	dst := t.fArena[base : base+need : base+need]
+	copy(dst, src)
+	return dst
+}
+
+// copyInts is copyFloats for the frequency series.
+func (t *Trace) copyInts(src []int) []int {
+	if len(src) == 0 {
+		return nil
+	}
+	if t.block == 0 {
+		t.block = minBlockSamples
+	}
+	need := len(src)
+	if len(t.iArena)+need > cap(t.iArena) {
+		sz := t.block * len(t.ClusterNames)
+		if sz < need {
+			sz = need
+		}
+		t.iArena = make([]int, 0, sz)
+	}
+	base := len(t.iArena)
+	t.iArena = t.iArena[:base+need]
+	dst := t.iArena[base : base+need : base+need]
+	copy(dst, src)
+	return dst
 }
 
 // Len returns the number of samples.

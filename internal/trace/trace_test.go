@@ -228,3 +228,87 @@ func TestAvgTempBoundedProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Appends must copy their input: mutating the caller's buffers afterwards
+// cannot change recorded samples, and samples must not alias each other.
+func TestAppendCopiesAndIsolates(t *testing.T) {
+	tr := NewWithCap([]string{"a", "b"}, []string{"c"}, 4)
+	temps := []float64{1, 2}
+	freqs := []int{100}
+	utils := []float64{0.5}
+	if err := tr.Append(Sample{TimeS: 0, TempsC: temps, FreqsMHz: freqs, Utils: utils}); err != nil {
+		t.Fatal(err)
+	}
+	temps[0], freqs[0], utils[0] = 99, 999, 0.99
+	if err := tr.Append(Sample{TimeS: 1, TempsC: temps, FreqsMHz: freqs, Utils: utils}); err != nil {
+		t.Fatal(err)
+	}
+	s0, s1 := tr.Samples[0], tr.Samples[1]
+	if s0.TempsC[0] != 1 || s0.FreqsMHz[0] != 100 || s0.Utils[0] != 0.5 {
+		t.Errorf("sample 0 mutated by caller buffer reuse: %+v", s0)
+	}
+	if s1.TempsC[0] != 99 || s1.FreqsMHz[0] != 999 || s1.Utils[0] != 0.99 {
+		t.Errorf("sample 1 did not record updated values: %+v", s1)
+	}
+}
+
+// Samples recorded before an arena block rollover must stay intact after
+// many more appends.
+func TestArenaBlockRollover(t *testing.T) {
+	tr := NewWithCap([]string{"n"}, []string{"c"}, 2)
+	const total = 5000 // far beyond any single block
+	for i := 0; i < total; i++ {
+		err := tr.Append(Sample{
+			TimeS:    float64(i),
+			TempsC:   []float64{float64(i)},
+			FreqsMHz: []int{i},
+			Utils:    []float64{float64(i) / total},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != total {
+		t.Fatalf("Len = %d, want %d", tr.Len(), total)
+	}
+	for i := 0; i < total; i += 777 {
+		s := tr.Samples[i]
+		if s.TempsC[0] != float64(i) || s.FreqsMHz[0] != i {
+			t.Errorf("sample %d corrupted after rollover: %+v", i, s)
+		}
+	}
+}
+
+// With a capacity hint covering the run, steady-state appends allocate
+// nothing (amortised block allocation aside, which the hint covers here).
+func TestAppendZeroAllocsWithinCap(t *testing.T) {
+	tr := NewWithCap([]string{"a", "b", "c", "d"}, []string{"x", "y", "z"}, 2000)
+	temps := []float64{1, 2, 3, 4}
+	freqs := []int{1, 2, 3}
+	utils := []float64{0.1, 0.2, 0.3}
+	i := 0
+	// Warm up one append so the lazily allocated first blocks exist.
+	if err := tr.Append(Sample{TimeS: -1, TempsC: temps, FreqsMHz: freqs, Utils: utils}); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		i++
+		if err := tr.Append(Sample{TimeS: float64(i), TempsC: temps, FreqsMHz: freqs, Utils: utils}); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("Append allocates %.3f objects/op inside capacity, want 0", avg)
+	}
+}
+
+// Nil series stay nil (e.g. Utils on legacy traces), matching the
+// pre-arena copying behaviour.
+func TestAppendPreservesNilUtils(t *testing.T) {
+	tr := New([]string{"n"}, []string{"c"})
+	if err := tr.Append(Sample{TimeS: 0, TempsC: []float64{1}, FreqsMHz: []int{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Samples[0].Utils != nil {
+		t.Errorf("nil Utils became %v", tr.Samples[0].Utils)
+	}
+}

@@ -112,6 +112,21 @@ func Exynos5422Thermal() *ThermalNetwork { return thermal.Exynos5422Network() }
 // ThermalNetwork.Save).
 func LoadThermalNetwork(r io.Reader) (*ThermalNetwork, error) { return thermal.LoadNetwork(r) }
 
+// ThermalModel integrates node temperatures over time (substepped
+// explicit Euler reference integrator plus a direct steady-state solver).
+type ThermalModel = thermal.Model
+
+// ThermalStepper advances a ThermalModel with the precomputed exact
+// discrete-time propagator — the zero-allocation fixed-step integrator
+// behind every simulation tick. Build one with ThermalModel.NewStepper.
+type ThermalStepper = thermal.Stepper
+
+// NewThermalModel builds an RC thermal model with every node starting at
+// the ambient temperature.
+func NewThermalModel(net *ThermalNetwork, ambientC float64) (*ThermalModel, error) {
+	return thermal.NewModel(net, ambientC)
+}
+
 // --- workloads (internal/workload) -------------------------------------------
 
 // App models one OpenCL application's execution characteristics.
@@ -172,6 +187,17 @@ func NearestPartition(cpuFrac float64) Partition { return mapping.NearestPartiti
 
 // SimConfig assembles a co-simulation run.
 type SimConfig = sim.Config
+
+// Integrator selects the thermal stepping scheme of a run (SimConfig
+// field): the exact precomputed propagator (default) or the substepped
+// explicit-Euler reference.
+type Integrator = sim.Integrator
+
+// Integrator choices for SimConfig.Integrator.
+const (
+	IntegratorExact = sim.IntegratorExact
+	IntegratorEuler = sim.IntegratorEuler
+)
 
 // SimResult summarises a run (execution time, energy, temperatures,
 // effective frequency, trace).
