@@ -28,13 +28,13 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Measured snapshot of the core benchmarks (sim tick/run, Fig. 5
-# serial/parallel, thermal stepping, power evaluation) as
+# serial/parallel, scenario engine, thermal stepping, power evaluation) as
 # BENCH_<date>.json — ns/op, B/op and allocs/op per benchmark. CI uploads
 # it as a non-gating artifact so the perf trajectory is tracked across PRs.
 BENCH_DATE := $(shell date -u +%Y-%m-%d)
-BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto'
+BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioGrid|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto'
 bench-json:
-	$(GO) test -run='^$$' -bench=$(BENCH_CORE) -benchmem ./internal/sim ./internal/thermal ./internal/power . \
+	$(GO) test -run='^$$' -bench=$(BENCH_CORE) -benchmem ./internal/sim ./internal/scenario ./internal/thermal ./internal/power . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
 
 ci: build vet fmt test race bench

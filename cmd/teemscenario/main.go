@@ -1,0 +1,151 @@
+// Command teemscenario runs declarative dynamic-workload scenarios —
+// application arrivals, ambient steps and ramps, mid-run governor /
+// partition / mapping switches — against the simulated platform, fanning
+// the scenario × governor grid across a bounded worker pool. Assertion
+// violations are reported and reflected in the exit code, so scenario
+// files double as an executable regression corpus.
+//
+// Usage:
+//
+//	teemscenario -preset rush-hour -govs ondemand,teem
+//	teemscenario -f sunlight.json -govs teem -workers 4
+//	teemscenario -list
+//	teemscenario -preset sunlight -dump          # print the JSON schema by example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"teem/internal/scenario"
+	"teem/internal/sim"
+	"teem/internal/soc"
+	"teem/internal/thermal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("teemscenario: ")
+
+	var (
+		files      = flag.String("f", "", "comma-separated scenario JSON files")
+		preset     = flag.String("preset", "", "built-in scenario: sunlight, rush-hour, core-loss (empty with -f)")
+		govs       = flag.String("govs", "", "comma-separated governors to grid over (default: the union of the scenarios' initial policies)")
+		workers    = flag.Int("workers", 0, "worker pool bound (0 = one per CPU, 1 = serial)")
+		integrator = flag.String("integrator", "exact", "thermal integrator: exact or euler")
+		platPath   = flag.String("platform", "", "custom platform description (JSON) instead of the Exynos 5422")
+		netPath    = flag.String("thermal", "", "custom thermal network (JSON)")
+		list       = flag.Bool("list", false, "list built-in presets and governors, then exit")
+		dump       = flag.Bool("dump", false, "print the selected scenarios as JSON, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("presets:")
+		for _, s := range scenario.Presets() {
+			fmt.Printf("  %-10s %d events, horizon %gs\n", s.Name, len(s.Events), s.EndS())
+		}
+		fmt.Printf("governors: %s\n", strings.Join(scenario.GovernorNames(), ", "))
+		return
+	}
+
+	var scs []*scenario.Scenario
+	if *files != "" {
+		for _, path := range strings.Split(*files, ",") {
+			f, err := os.Open(strings.TrimSpace(path))
+			if err != nil {
+				log.Fatal(err)
+			}
+			s, err := scenario.Load(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			scs = append(scs, s)
+		}
+	}
+	if *preset != "" {
+		s := scenario.PresetByName(*preset)
+		if s == nil {
+			log.Fatalf("unknown preset %q (try -list)", *preset)
+		}
+		scs = append(scs, s)
+	}
+	if len(scs) == 0 {
+		scs = scenario.Presets()
+	}
+
+	if *dump {
+		for _, s := range scs {
+			if err := s.Save(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	rc := scenario.Config{}
+	switch *integrator {
+	case "exact":
+		rc.Integrator = sim.IntegratorExact
+	case "euler":
+		rc.Integrator = sim.IntegratorEuler
+	default:
+		log.Fatalf("unknown integrator %q (want exact or euler)", *integrator)
+	}
+	if *platPath != "" {
+		f, err := os.Open(*platPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rc.Platform, err = soc.LoadPlatform(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *netPath != "" {
+		f, err := os.Open(*netPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rc.Net, err = thermal.LoadNetwork(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var governors []string
+	if *govs != "" {
+		for _, g := range strings.Split(*govs, ",") {
+			governors = append(governors, strings.TrimSpace(g))
+		}
+	}
+	if len(governors) == 0 {
+		// Grid over the union of the scenarios' initial policies.
+		seen := map[string]bool{}
+		for _, s := range scs {
+			name := s.Governor
+			if name == "" {
+				name = "ondemand"
+			}
+			if !seen[name] {
+				seen[name] = true
+				governors = append(governors, name)
+			}
+		}
+	}
+
+	grid, err := scenario.RunGrid(scs, governors, rc, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(grid.Render())
+	if n := grid.Violations(); n > 0 {
+		log.Fatalf("%d assertion violation(s)", n)
+	}
+}

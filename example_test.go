@@ -31,6 +31,31 @@ func ExampleNewManager() {
 	// partition: 4/8, hardware trips: 0, completed: true
 }
 
+// ExampleNewScenario drives the engine through a dynamic situation: two
+// overlapping app arrivals, an ambient step and a mid-run governor
+// switch, with assertions checked along the way.
+func ExampleNewScenario() {
+	sc, err := teem.NewScenario("demo").
+		ArriveDefault(0, "COVARIANCE").
+		ArriveDefault(5, "GEMM"). // lands while COVARIANCE runs: queues
+		AmbientStep(20, 38).
+		SwitchGovernor(40, "conservative").
+		AssertPeakBelow("A15", 99).
+		RequireCompletion().
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := teem.RunScenario(sc, teem.ScenarioConfig{Governor: "teem"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("jobs finished: %d, assertions passed: %v\n",
+		len(res.Sim.JobFinishes), res.Passed())
+	// Output:
+	// jobs finished: 2, assertions passed: true
+}
+
 // ExampleNewSpace reproduces the paper's design-space counts (Eqs. 1–2).
 func ExampleNewSpace() {
 	sp, err := teem.NewSpace(teem.Exynos5422())

@@ -1,9 +1,11 @@
 // Adaptation: the "online" in TEEM — the paper's criticism of offline-only
 // approaches ([9], [15]) is that they cannot react "when the behavior of
-// the cores change". Here the ambient temperature jumps mid-run (the
-// device moves into direct sunlight): a fixed offline design point sails
-// into hardware throttling while TEEM's controller re-regulates around its
-// threshold.
+// the cores change". Here the scenario engine ramps the ambient
+// temperature mid-run (the device moves into direct sunlight) on a
+// pre-heated chip: a fixed offline design point sails into hardware
+// throttling while TEEM's controller re-regulates around its threshold.
+// The same declarative scenario runs under both policies — no bespoke
+// governor wrappers needed.
 package main
 
 import (
@@ -13,70 +15,52 @@ import (
 	"teem"
 )
 
-// ambientStep wraps a Governor and raises the engine ambient at a fixed
-// simulation time, then keeps delegating to the wrapped policy.
-type ambientStep struct {
-	inner   teem.Governor
-	engine  *teem.Engine
-	atS     float64
-	toC     float64
-	applied bool
-}
+func main() {
+	log.SetFlags(0)
 
-func (a *ambientStep) Name() string     { return a.inner.Name() + "+ambient-step" }
-func (a *ambientStep) PeriodS() float64 { return a.inner.PeriodS() }
-func (a *ambientStep) Start(m teem.Machine) error {
-	a.applied = false
-	return a.inner.Start(m)
-}
-func (a *ambientStep) Act(m teem.Machine) error {
-	if !a.applied && m.TimeS() >= a.atS {
-		a.engine.SetAmbientC(a.toC)
-		a.applied = true
-	}
-	return a.inner.Act(m)
-}
-
-func run(name string, inner teem.Governor) {
-	plat := teem.Exynos5422()
-	net := teem.Exynos5422Thermal()
-	cfg := teem.SimConfig{
-		Platform: plat,
-		Net:      net,
+	// Pre-heat the chip: the steady regime of back-to-back benchmarking,
+	// the thermal situation the paper measures in.
+	warm, err := teem.WarmStartTemps(teem.SimConfig{
+		Platform: teem.Exynos5422(),
+		Net:      teem.Exynos5422Thermal(),
 		App:      teem.Covariance(),
 		Map:      teem.Mapping{Big: 4, Little: 2, UseGPU: true},
 		Part:     teem.Partition{Num: 4, Den: 8},
-	}
-	warm, err := teem.WarmStartTemps(cfg)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg.InitialTempsC = warm
 
-	// The engine must exist before the governor wrapper can reference
-	// it, so wire them in two steps.
-	step := &ambientStep{inner: inner, atS: 12, toC: 43}
-	cfg.Governor = step
-	e, err := teem.NewEngine(cfg)
+	sc, err := teem.NewScenario("sunlight").
+		ArriveDefault(0, "COVARIANCE").
+		AmbientRamp(12, 5, 43). // 28 → 43 °C over 5 s starting at t=12
+		Horizon(30).
+		RequireCompletion().
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	step.engine = e
 
-	res, err := e.Run()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%-28s ET %5.1f s | %4.0f J | avg %.1f °C | peak %.1f °C | trips %d\n",
-		name, res.ExecTimeS, res.EnergyJ, res.AvgTempC, res.PeakTempC, res.ThrottleEvents)
-}
-
-func main() {
-	log.SetFlags(0)
-	fmt.Println("ambient steps 28 °C → 43 °C at t = 12 s (device moves into the sun):")
+	fmt.Println("ambient ramps 28 °C → 43 °C at t = 12 s (device moves into the sun):")
 	fmt.Println()
-	run("fixed design point", teem.NewPerformance())
-	run("TEEM controller", teem.NewController(teem.DefaultParams()))
+	grid, err := teem.RunScenarioGrid(
+		[]*teem.Scenario{sc},
+		[]string{"performance", "teem"},
+		teem.ScenarioConfig{InitialTempsC: warm},
+		0,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range grid.Cells[0] {
+		name := "fixed design point"
+		if row.Governor == "teem" {
+			name = "TEEM controller"
+		}
+		fmt.Printf("%-28s ET %5.1f s | %4.0f J | avg %.1f °C | peak %.1f °C | trips %d\n",
+			name, row.Sim.ExecTimeS, row.Sim.EnergyJ, row.Sim.AvgTempC,
+			row.Sim.PeakTempC, row.Sim.ThrottleEvents)
+	}
 	fmt.Println()
 	fmt.Println("The fixed design point has no reaction of its own — it rides into the")
 	fmt.Println("95 °C firmware trip and thrashes between 2000 and 900 MHz. TEEM notices")

@@ -1,6 +1,10 @@
-// Multiapp: the paper's Fig. 5 evaluation — EEMP, RMP and TEEM across the
-// eight Polybench applications at mapping 2L+4B, comparing energy,
-// temperature behaviour and execution time.
+// Multiapp: a dynamic multi-application session on one chip — the online
+// situation the paper's manager exists for. Three Polybench applications
+// arrive over time (GEMM lands while COVARIANCE still runs and queues
+// behind it; SYRK arrives back-to-back later), the ambient steps up
+// mid-session, and each job's completion is tracked. The same scenario is
+// run under ondemand+TMU and under the TEEM controller; the Fig. 5 static
+// per-app comparison lives in examples/motivation and `teemreport`.
 package main
 
 import (
@@ -13,24 +17,44 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	env, err := teem.NewExperiments()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fig5, err := env.Fig5(teem.Mapping{Big: 4, Little: 2, UseGPU: true})
+	sc, err := teem.NewScenario("session").
+		ArriveDefault(0, "COVARIANCE").
+		ArriveDefault(5, "GEMM"). // overlapping arrival: queues
+		ArriveDefault(90, "SYRK").
+		AmbientStep(30, 38). // afternoon heat
+		AssertPeakBelow("A15", 97).
+		RequireCompletion().
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println(fig5.RenderEnergy())
-	fmt.Println(fig5.RenderTemperature())
-	fmt.Println(fig5.RenderPerformance())
+	grid, err := teem.RunScenarioGrid(
+		[]*teem.Scenario{sc},
+		[]string{"ondemand", "teem"},
+		teem.ScenarioConfig{},
+		0,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	eE, eR := fig5.EnergySavings()
-	vE, vR := fig5.VarianceReductions()
-	pE, pR := fig5.PerformanceGains()
-	fmt.Println("summary (TEEM vs EEMP / RMP):")
-	fmt.Printf("  energy        %+.1f%% / %+.1f%%   (paper: -28.32%% / -13.97%%)\n", -100*eE, -100*eR)
-	fmt.Printf("  variance      %+.1f%% / %+.1f%%   (paper: -76%% / -45%%)\n", -100*vE, -100*vR)
-	fmt.Printf("  exec time     %+.1f%% / %+.1f%%   (paper: ~-28%% / ~-24%%)\n", -100*pE, -100*pR)
+	fmt.Println("three arrivals (t=0, 5, 90 s) with an ambient step to 38 °C at t=30 s:")
+	fmt.Println()
+	fmt.Print(grid.Render())
+	fmt.Println()
+	for _, cell := range grid.Cells[0] {
+		fmt.Printf("%s job completions:\n", cell.Governor)
+		for _, jf := range cell.Sim.JobFinishes {
+			fmt.Printf("  %-12s finished at t=%6.1f s\n", jf.App, jf.AtS)
+		}
+	}
+	fmt.Println()
+
+	od := grid.Cell("session", "ondemand")
+	tm := grid.Cell("session", "teem")
+	fmt.Printf("TEEM vs ondemand over the whole session: energy %+.1f%%, peak %+.1f °C, trips %d vs %d\n",
+		100*(tm.Sim.EnergyJ-od.Sim.EnergyJ)/od.Sim.EnergyJ,
+		tm.Sim.PeakTempC-od.Sim.PeakTempC,
+		tm.Sim.ThrottleEvents, od.Sim.ThrottleEvents)
 }

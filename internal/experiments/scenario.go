@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"teem/internal/scenario"
+)
+
+// ScenarioGrid runs every scenario under every named governor on the
+// environment's platform, fanned out across the worker pool like the
+// Fig. 5 rows (Options.Workers; 1 forces the serial path). Cells are
+// assembled by index, so parallel output is byte-identical to a serial
+// run. An empty governor list runs the stock registry.
+func (e *Env) ScenarioGrid(scs []*scenario.Scenario, governors []string) (*scenario.GridResult, error) {
+	if len(governors) == 0 {
+		governors = scenario.GovernorNames()
+	}
+	rc := scenario.Config{Platform: e.Plat, Net: e.Net}
+	return scenario.RunGrid(scs, governors, rc, e.Workers())
+}
+
+// ScenarioPresets runs the built-in scenario corpus under the stock
+// governors — the dynamic-workload counterpart of the Fig. 5 sweep.
+func (e *Env) ScenarioPresets() (*scenario.GridResult, error) {
+	return e.ScenarioGrid(scenario.Presets(), nil)
+}

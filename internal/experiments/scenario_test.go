@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"teem/internal/scenario"
+)
+
+// ScenarioGrid output must be byte-identical between the serial path and
+// the worker pool — the same determinism contract as the Fig. 5 rows.
+func TestScenarioGridDeterminism(t *testing.T) {
+	scs := []*scenario.Scenario{scenario.Sunlight(), scenario.CoreLoss()}
+	govs := []string{"ondemand", "teem"}
+
+	serialEnv, err := NewEnvWith(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelEnv, err := NewEnvWith(Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialEnv.ScenarioGrid(scs, govs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := parallelEnv.ScenarioGrid(scs, govs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.Render(), parallel.Render(); s != p {
+		t.Errorf("scenario grid differs between -workers 1 and -workers 8:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+}
+
+// The preset corpus must hold its assertions under every stock governor.
+func TestScenarioPresetsPass(t *testing.T) {
+	env, err := NewEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := env.ScenarioPresets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := g.Violations(); n != 0 {
+		t.Errorf("preset grid reported %d assertion violations:\n%s", n, g.Render())
+	}
+}

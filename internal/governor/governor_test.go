@@ -183,6 +183,148 @@ func TestConservativeStepsUp(t *testing.T) {
 	}
 }
 
+// fakeMachine gives boundary tests exact control over the utilisation and
+// frequency a governor observes, without running a simulation.
+type fakeMachine struct {
+	plat  *soc.Platform
+	freqs map[string]int
+	utils map[string]float64
+}
+
+func newFakeMachine() *fakeMachine {
+	p := soc.Exynos5422()
+	f := &fakeMachine{plat: p, freqs: map[string]int{}, utils: map[string]float64{}}
+	for i := range p.Clusters {
+		f.freqs[p.Clusters[i].Name] = p.Clusters[i].MinFreqMHz()
+	}
+	return f
+}
+
+func (f *fakeMachine) TimeS() float64          { return 0 }
+func (f *fakeMachine) Platform() *soc.Platform { return f.plat }
+func (f *fakeMachine) SensorC(string) float64  { return 40 }
+func (f *fakeMachine) ClusterFreqMHz(c string) int {
+	return f.freqs[c]
+}
+func (f *fakeMachine) SetClusterFreqMHz(c string, mhz int) error {
+	cl := f.plat.FindCluster(c)
+	if cl == nil {
+		return nil
+	}
+	f.freqs[c] = cl.NearestOPP(mhz).FreqMHz
+	return nil
+}
+func (f *fakeMachine) ClusterUtil(c string) float64 { return f.utils[c] }
+func (f *fakeMachine) Throttled() bool              { return false }
+
+// Conservative at the minimum OPP with idle load must hold the minimum —
+// stepping "one OPP down" from the bottom of the table must not wrap,
+// climb, or error.
+func TestConservativeHoldsAtMinOPP(t *testing.T) {
+	m := newFakeMachine()
+	g := NewConservative()
+	for i := range m.plat.Clusters {
+		name := m.plat.Clusters[i].Name
+		m.freqs[name] = m.plat.Clusters[i].MinFreqMHz()
+		m.utils[name] = 0
+	}
+	if err := g.Act(m); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.plat.Clusters {
+		c := &m.plat.Clusters[i]
+		if got := m.freqs[c.Name]; got != c.MinFreqMHz() {
+			t.Errorf("%s: idle at min stepped to %d, want to hold %d", c.Name, got, c.MinFreqMHz())
+		}
+	}
+}
+
+// Conservative at the maximum OPP under full load must hold the maximum.
+func TestConservativeHoldsAtMaxOPP(t *testing.T) {
+	m := newFakeMachine()
+	g := NewConservative()
+	for i := range m.plat.Clusters {
+		name := m.plat.Clusters[i].Name
+		m.freqs[name] = m.plat.Clusters[i].MaxFreqMHz()
+		m.utils[name] = 1
+	}
+	if err := g.Act(m); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.plat.Clusters {
+		c := &m.plat.Clusters[i]
+		if got := m.freqs[c.Name]; got != c.MaxFreqMHz() {
+			t.Errorf("%s: full load at max stepped to %d, want to hold %d", c.Name, got, c.MaxFreqMHz())
+		}
+	}
+}
+
+// Conservative inside the dead zone must not move at all.
+func TestConservativeDeadZoneHolds(t *testing.T) {
+	m := newFakeMachine()
+	g := NewConservative()
+	for i := range m.plat.Clusters {
+		name := m.plat.Clusters[i].Name
+		m.freqs[name] = 1000
+		m.utils[name] = 0.5
+	}
+	before := map[string]int{}
+	for k, v := range m.freqs {
+		before[k] = v
+	}
+	if err := g.Act(m); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range before {
+		if m.freqs[k] != v {
+			t.Errorf("%s: dead-zone util moved %d → %d", k, v, m.freqs[k])
+		}
+	}
+}
+
+// Ondemand with utilisation 0 must select each cluster's minimum OPP: the
+// proportional law scales the target to zero and the OPP snap must land on
+// the bottom of the table, not stay pinned at the current frequency.
+func TestOndemandZeroUtilDropsToMin(t *testing.T) {
+	m := newFakeMachine()
+	g := NewOndemand()
+	for i := range m.plat.Clusters {
+		name := m.plat.Clusters[i].Name
+		m.freqs[name] = m.plat.Clusters[i].MaxFreqMHz()
+		m.utils[name] = 0
+	}
+	if err := g.Act(m); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.plat.Clusters {
+		c := &m.plat.Clusters[i]
+		if got := m.freqs[c.Name]; got != c.MinFreqMHz() {
+			t.Errorf("%s: util 0 selected %d MHz, want min %d", c.Name, got, c.MinFreqMHz())
+		}
+	}
+}
+
+// Ondemand exactly at the up-threshold must jump to maximum (the
+// threshold is inclusive, matching the kernel's ≥ comparison).
+func TestOndemandAtThresholdJumpsToMax(t *testing.T) {
+	m := newFakeMachine()
+	g := NewOndemand()
+	for i := range m.plat.Clusters {
+		name := m.plat.Clusters[i].Name
+		m.freqs[name] = m.plat.Clusters[i].MinFreqMHz()
+		m.utils[name] = g.UpThreshold
+	}
+	if err := g.Act(m); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.plat.Clusters {
+		c := &m.plat.Clusters[i]
+		if got := m.freqs[c.Name]; got != c.MaxFreqMHz() {
+			t.Errorf("%s: util at threshold selected %d MHz, want max %d", c.Name, got, c.MaxFreqMHz())
+		}
+	}
+}
+
 func TestConservativeValidation(t *testing.T) {
 	g := &Conservative{UpThreshold: 0.2, DownThreshold: 0.8}
 	cfg := baseConfig(g)

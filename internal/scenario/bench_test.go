@@ -1,0 +1,36 @@
+package scenario
+
+import "testing"
+
+// BenchmarkScenarioRun executes the rush-hour combination scenario
+// (multi-app arrivals, ambient step, governor switch) end to end — the
+// scenario engine's entry in the BENCH_<date>.json perf trajectory.
+func BenchmarkScenarioRun(b *testing.B) {
+	sc := RushHour()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(sc, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Sim.Completed {
+			b.Fatal("scenario did not complete")
+		}
+	}
+}
+
+// BenchmarkScenarioGrid measures the scenario × governor fan-out across
+// the worker pool (presets × stock governors).
+func BenchmarkScenarioGrid(b *testing.B) {
+	scs := Presets()
+	govs := []string{"ondemand", "teem"}
+	for i := 0; i < b.N; i++ {
+		g, err := RunGrid(scs, govs, Config{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Violations() != 0 {
+			b.Fatal("preset grid violated assertions")
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Load reads one scenario from JSON and validates it against the stock
+// governor registry. Scenarios using custom governors should be decoded
+// manually and validated with Scenario.Validate(extra).
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: decoding JSON: %w", err)
+	}
+	if err := s.Validate(nil); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Save writes the scenario as indented JSON.
+func (s *Scenario) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

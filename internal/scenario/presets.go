@@ -1,0 +1,74 @@
+package scenario
+
+import "teem/internal/mapping"
+
+// Sunlight is the paper's online-adaptation situation: COVARIANCE starts
+// at t=0 and the device moves into direct sunlight at t=12 s — the
+// ambient ramps 28 → 43 °C over five seconds. A fixed offline design
+// point sails into hardware throttling; an online manager re-regulates.
+func Sunlight() *Scenario {
+	s, err := New("sunlight").
+		ArriveDefault(0, "COVARIANCE").
+		AmbientRamp(12, 5, 43).
+		Horizon(30).
+		AssertPeakBelow("A15", 97).
+		RequireCompletion().
+		Build()
+	if err != nil {
+		panic(err) // presets are compile-time constants; unreachable
+	}
+	return s
+}
+
+// RushHour is the multi-app stress test: three applications arrive
+// back-to-back and overlapping (GEMM lands while COVARIANCE still runs
+// and queues behind it), the ambient steps up mid-run, and the platform
+// policy is switched while work is in flight — the ≥3-event-kind
+// combination scenario.
+func RushHour() *Scenario {
+	s, err := New("rush-hour").
+		ArriveDefault(0, "COVARIANCE").
+		ArriveDefault(5, "GEMM").
+		ArriveDefault(60, "SYRK").
+		AmbientStep(20, 38).
+		SwitchGovernor(40, "conservative").
+		AssertTempBelow(19, "A15", 99).
+		AssertPeakBelow("A15", 99).
+		RequireCompletion().
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// CoreLoss models a co-tenant stealing compute mid-run: the mapping
+// shrinks from 4 big cores to 1 at t=10 s and the remaining work is
+// repartitioned toward the GPU at t=12 s.
+func CoreLoss() *Scenario {
+	s, err := New("core-loss").
+		Arrive(0, "COVARIANCE", mapping.Partition{Num: 4, Den: 8}).
+		SwitchMapping(10, mapping.Mapping{Big: 1, Little: 2, UseGPU: true}).
+		SwitchPartition(12, mapping.Partition{Num: 2, Den: 8}).
+		RequireCompletion().
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Presets returns the built-in scenario corpus in stable order.
+func Presets() []*Scenario {
+	return []*Scenario{Sunlight(), RushHour(), CoreLoss()}
+}
+
+// PresetByName resolves a preset ("sunlight", "rush-hour", "core-loss").
+func PresetByName(name string) *Scenario {
+	for _, s := range Presets() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}

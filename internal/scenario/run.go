@@ -1,0 +1,379 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"teem/internal/core"
+	"teem/internal/governor"
+	"teem/internal/par"
+	"teem/internal/report"
+	"teem/internal/sim"
+	"teem/internal/soc"
+	"teem/internal/thermal"
+	"teem/internal/workload"
+)
+
+// GovernorFactory builds a fresh governor instance per run — governors are
+// stateful, so grid cells never share one.
+type GovernorFactory func() sim.Governor
+
+// builtinGovernors is the stock policy registry: the Linux baselines plus
+// the TEEM controller at paper parameters.
+func builtinGovernors() map[string]GovernorFactory {
+	return map[string]GovernorFactory{
+		"ondemand":     func() sim.Governor { return governor.NewOndemand() },
+		"conservative": func() sim.Governor { return governor.NewConservative() },
+		"performance":  func() sim.Governor { return governor.Performance{} },
+		"powersave":    func() sim.Governor { return governor.Powersave{} },
+		"teem":         func() sim.Governor { return core.NewController(core.DefaultParams()) },
+	}
+}
+
+// GovernorNames lists the stock registry in stable order.
+func GovernorNames() []string {
+	return []string{"ondemand", "conservative", "performance", "powersave", "teem"}
+}
+
+// Config parameterises scenario execution. The zero value runs on the
+// default Exynos 5422 with the exact integrator.
+type Config struct {
+	// Platform and Net default to the Exynos 5422 presets.
+	Platform *soc.Platform
+	Net      *thermal.Network
+	// Governor overrides the scenario's initial policy (grid columns).
+	Governor string
+	// Governors adds custom policies to the registry by name.
+	Governors map[string]GovernorFactory
+	// TickS and MaxTimeS default like sim.Config (MaxTimeS is raised to
+	// cover the scenario horizon when needed).
+	TickS    float64
+	MaxTimeS float64
+	// Integrator selects the thermal stepping scheme.
+	Integrator sim.Integrator
+	// InitialTempsC presets the chip state (default: ambient).
+	InitialTempsC []float64
+}
+
+// Result is one executed scenario × governor cell.
+type Result struct {
+	// Scenario and Governor identify the cell.
+	Scenario string
+	Governor string
+	// Sim is the underlying run result (trace included).
+	Sim *sim.Result
+	// Violations lists failed assertions in event order (empty = pass).
+	Violations []string
+}
+
+// Passed reports whether every assertion held.
+func (r *Result) Passed() bool { return len(r.Violations) == 0 }
+
+// ambientRampStepS is the discretisation of ambient ramps: fine enough to
+// look continuous next to thermal time constants, coarse enough that a
+// ramp stays a sparse event sequence.
+const ambientRampStepS = 0.1
+
+// Run executes one scenario. The timeline is compiled to engine events
+// before the run starts, so execution is fully deterministic: same
+// scenario, same config, same output.
+func Run(sc *Scenario, rc Config) (*Result, error) {
+	if sc == nil {
+		return nil, errors.New("scenario: nil scenario")
+	}
+	if err := sc.Validate(rc.Governors); err != nil {
+		return nil, err
+	}
+	plat := rc.Platform
+	if plat == nil {
+		plat = soc.Exynos5422()
+	}
+	net := rc.Net
+	if net == nil {
+		net = thermal.Exynos5422Network()
+	}
+	registry := builtinGovernors()
+	for name, f := range rc.Governors {
+		registry[name] = f
+	}
+	govName := sc.Governor
+	if rc.Governor != "" {
+		govName = rc.Governor
+	}
+	if govName == "" {
+		govName = "ondemand"
+	}
+	mk, ok := registry[govName]
+	if !ok {
+		return nil, fmt.Errorf("scenario %s: unknown governor %q", sc.Name, govName)
+	}
+
+	tick := rc.TickS
+	if tick == 0 {
+		tick = 0.01
+	}
+	horizon := sc.EndS() + tick
+	maxTime := rc.MaxTimeS
+	if maxTime == 0 {
+		maxTime = 900
+	}
+	if maxTime < horizon {
+		maxTime = horizon
+	}
+	cfg := sim.Config{
+		Platform:      plat,
+		Net:           net,
+		Map:           sc.Map,
+		Governor:      mk(),
+		TickS:         tick,
+		MaxTimeS:      maxTime,
+		MinTimeS:      horizon,
+		Integrator:    rc.Integrator,
+		InitialTempsC: rc.InitialTempsC,
+	}
+	e, err := sim.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+
+	res := &Result{Scenario: sc.Name, Governor: govName}
+	ambient := plat.AmbientC
+	for _, ev := range sc.sortedEvents() {
+		ev := ev
+		switch ev.Kind {
+		case KindArrival:
+			app, err := workload.ByName(ev.App)
+			if err != nil {
+				return nil, err
+			}
+			part := defaultPart(sc.Map)
+			if ev.Part != nil {
+				part = *ev.Part
+			}
+			err = e.ScheduleAt(ev.AtS, func(e *sim.Engine) error {
+				return e.EnqueueApp(app, part)
+			})
+			if err != nil {
+				return nil, err
+			}
+		case KindAmbient:
+			if err := scheduleAmbient(e, &ambient, ev); err != nil {
+				return nil, err
+			}
+		case KindGovernor:
+			mk, ok := registry[ev.Governor]
+			if !ok {
+				return nil, fmt.Errorf("scenario %s: unknown governor %q", sc.Name, ev.Governor)
+			}
+			err := e.ScheduleAt(ev.AtS, func(e *sim.Engine) error {
+				return e.SetGovernor(mk())
+			})
+			if err != nil {
+				return nil, err
+			}
+		case KindPartition:
+			p := *ev.Part
+			if err := e.ScheduleAt(ev.AtS, func(e *sim.Engine) error { return e.SetPartition(p) }); err != nil {
+				return nil, err
+			}
+		case KindMapping:
+			m := *ev.Map
+			if err := e.ScheduleAt(ev.AtS, func(e *sim.Engine) error { return e.SetMapping(m) }); err != nil {
+				return nil, err
+			}
+		case KindAssert:
+			// An unknown node would read 0 °C and green-light the
+			// assertion forever; flag the typo instead.
+			if net.NodeIndex(ev.Node) < 0 {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("t=%gs: assertion on unknown node %q", ev.AtS, ev.Node))
+				continue
+			}
+			err := e.ScheduleAt(ev.AtS, func(e *sim.Engine) error {
+				if t := e.SensorC(ev.Node); t > ev.MaxC {
+					res.Violations = append(res.Violations,
+						fmt.Sprintf("t=%gs: %s at %.2f °C exceeds %.2f °C", ev.AtS, ev.Node, t, ev.MaxC))
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	sr, err := e.Run()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s under %s: %w", sc.Name, govName, err)
+	}
+	res.Sim = sr
+
+	for _, fc := range sc.Final {
+		if fc.Node != "" && fc.PeakMaxC > 0 {
+			n := sr.Trace.NodeIndex(fc.Node)
+			if n < 0 {
+				res.Violations = append(res.Violations, fmt.Sprintf("final: unknown node %q", fc.Node))
+				continue
+			}
+			if peak := sr.Trace.PeakTemp(n); peak > fc.PeakMaxC {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("final: %s peak %.2f °C exceeds %.2f °C", fc.Node, peak, fc.PeakMaxC))
+			}
+		}
+		if fc.Completed && !sr.Completed {
+			res.Violations = append(res.Violations, "final: run did not complete all submitted work")
+		}
+		if fc.MaxExecS > 0 && sr.ExecTimeS > fc.MaxExecS {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("final: execution time %.2f s exceeds %.2f s", sr.ExecTimeS, fc.MaxExecS))
+		}
+	}
+	return res, nil
+}
+
+// scheduleAmbient compiles a step (or a discretised linear ramp) to engine
+// events. ambient tracks the compile-time ambient so chained ramps start
+// from where the previous one ended.
+func scheduleAmbient(e *sim.Engine, ambient *float64, ev Event) error {
+	from, to := *ambient, ev.ToC
+	*ambient = to
+	if ev.RampS <= 0 || from == to {
+		return e.ScheduleAt(ev.AtS, func(e *sim.Engine) error {
+			e.SetAmbientC(to)
+			return nil
+		})
+	}
+	steps := int(ev.RampS/ambientRampStepS + 0.5)
+	if steps < 1 {
+		steps = 1
+	}
+	for k := 1; k <= steps; k++ {
+		v := from + (to-from)*float64(k)/float64(steps)
+		err := e.ScheduleAt(ev.AtS+ev.RampS*float64(k)/float64(steps), func(e *sim.Engine) error {
+			e.SetAmbientC(v)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- grids --------------------------------------------------------------------
+
+// GridResult is a scenario × governor result matrix in input order.
+type GridResult struct {
+	Scenarios []string
+	Governors []string
+	// Cells is indexed [scenario][governor].
+	Cells [][]*Result
+}
+
+// RunGrid executes every scenario under every named governor across a
+// bounded worker pool (workers: 0 = one per CPU, 1 = serial). Cells are
+// assembled by index, so parallel output is byte-identical to serial
+// output; every cell builds its own engine and governor instance, so the
+// grid is race-free by construction.
+func RunGrid(scs []*Scenario, governors []string, rc Config, workers int) (*GridResult, error) {
+	if len(scs) == 0 {
+		return nil, errors.New("scenario: empty grid (no scenarios)")
+	}
+	if len(governors) == 0 {
+		return nil, errors.New("scenario: empty grid (no governors)")
+	}
+	out := &GridResult{
+		Governors: append([]string(nil), governors...),
+		Cells:     make([][]*Result, len(scs)),
+	}
+	for _, sc := range scs {
+		if sc == nil {
+			return nil, errors.New("scenario: nil scenario in grid")
+		}
+		out.Scenarios = append(out.Scenarios, sc.Name)
+	}
+	for i := range out.Cells {
+		out.Cells[i] = make([]*Result, len(governors))
+	}
+	n := len(scs) * len(governors)
+	err := par.ForEach(workers, n, func(i int) error {
+		si, gi := i/len(governors), i%len(governors)
+		cell := rc
+		cell.Governor = governors[gi]
+		r, err := Run(scs[si], cell)
+		if err != nil {
+			return err
+		}
+		out.Cells[si][gi] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Render formats the grid as a metrics table: one row per scenario ×
+// governor cell, plus an assertion column.
+func (g *GridResult) Render() string {
+	t := &report.Table{
+		Title: "scenario × governor grid",
+		Headers: []string{"scenario", "governor", "ET (s)", "energy (J)",
+			"avg T (°C)", "peak T (°C)", "trips", "jobs", "asserts"},
+	}
+	for si := range g.Cells {
+		for gi := range g.Cells[si] {
+			r := g.Cells[si][gi]
+			status := "pass"
+			if !r.Passed() {
+				status = fmt.Sprintf("FAIL (%d)", len(r.Violations))
+			}
+			t.AddRow(r.Scenario, r.Governor,
+				fmt.Sprintf("%.1f", r.Sim.ExecTimeS),
+				fmt.Sprintf("%.0f", r.Sim.EnergyJ),
+				fmt.Sprintf("%.1f", r.Sim.AvgTempC),
+				fmt.Sprintf("%.1f", r.Sim.PeakTempC),
+				fmt.Sprintf("%d", r.Sim.ThrottleEvents),
+				fmt.Sprintf("%d", len(r.Sim.JobFinishes)),
+				status)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Render())
+	for si := range g.Cells {
+		for gi := range g.Cells[si] {
+			r := g.Cells[si][gi]
+			for _, v := range r.Violations {
+				fmt.Fprintf(&b, "  %s under %s: %s\n", r.Scenario, r.Governor, v)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Violations counts failed assertions across the grid.
+func (g *GridResult) Violations() int {
+	n := 0
+	for si := range g.Cells {
+		for gi := range g.Cells[si] {
+			n += len(g.Cells[si][gi].Violations)
+		}
+	}
+	return n
+}
+
+// Cell returns the result for a scenario/governor pair (nil if absent).
+func (g *GridResult) Cell(scenario, gov string) *Result {
+	for si, s := range g.Scenarios {
+		if s != scenario {
+			continue
+		}
+		for gi, gv := range g.Governors {
+			if gv == gov {
+				return g.Cells[si][gi]
+			}
+		}
+	}
+	return nil
+}

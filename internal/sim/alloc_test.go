@@ -46,6 +46,54 @@ func TestTickZeroAllocs(t *testing.T) {
 	}
 }
 
+// A scenario-driven engine — pending scheduled events, a queued arrival,
+// an idle-capable horizon — must keep the steady-state tick between
+// events allocation-free: event dispatch is a single integer compare on
+// ticks with nothing due.
+func TestTickZeroAllocsBetweenEvents(t *testing.T) {
+	e, err := New(Config{
+		Platform: soc.Exynos5422(),
+		Net:      thermal.Exynos5422Network(),
+		App:      workload.Covariance(),
+		Map:      mapping.Mapping{Big: 3, Little: 2, UseGPU: true},
+		Part:     mapping.Partition{Num: 4, Den: 8},
+		MinTimeS: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A queued arrival and far-future events: the hot loop must not pay
+	// for either until they come due.
+	if err := e.EnqueueApp(workload.Syrk(), mapping.Partition{Num: 4, Den: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleAt(500, func(e *Engine) error { e.SetAmbientC(43); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleAt(550, func(e *Engine) error {
+		return e.SetPartition(mapping.Partition{Num: 2, Den: 8})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.01
+	e.govEvery = 0
+	e.recEvery = 10
+	for i := 0; i < 50; i++ {
+		if _, err := e.tick(dt); err != nil {
+			t.Fatal(err)
+		}
+		e.timeTicks++
+	}
+	if avg := testing.AllocsPerRun(2000, func() {
+		if _, err := e.tick(dt); err != nil {
+			t.Fatal(err)
+		}
+		e.timeTicks++
+	}); avg != 0 {
+		t.Errorf("tick between scenario events allocates %.3f objects/op, want 0", avg)
+	}
+}
+
 // The Euler reference integrator path must stay allocation-free too.
 func TestTickZeroAllocsEulerIntegrator(t *testing.T) {
 	e, err := New(Config{

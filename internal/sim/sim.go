@@ -13,6 +13,15 @@
 // writes into an engine-owned breakdown (power.EvaluateInto), node and
 // sensor lookups are index maps built once at New, and the trace and
 // meter are pre-sized for the configured run length.
+//
+// Beyond single static runs the engine exposes the hooks the scenario
+// subsystem (internal/scenario) is built on: callbacks scheduled at tick
+// granularity (ScheduleAt), a FIFO workload queue for app arrivals on top
+// of the remaining-work machinery (EnqueueApp), and mid-run switches of
+// governor, mapping, partition and ambient temperature (SetGovernor,
+// SetMapping, SetPartition, SetAmbientC). Event dispatch costs a single
+// integer compare on ticks with no due event, so the steady-state tick
+// between events stays allocation-free.
 package sim
 
 import (
@@ -86,7 +95,9 @@ type Config struct {
 	// Net is the thermal topology; nodes must be named after the
 	// clusters they carry, plus a "pkg" node (required).
 	Net *thermal.Network
-	// App is the workload (required).
+	// App is the workload started at t=0. It may be nil only when
+	// MinTimeS is positive: the engine then starts idle and runs work
+	// enqueued by scheduled events (EnqueueApp) — the scenario regime.
 	App *workload.App
 	// Map selects the CPU cores used; Part splits work-items between
 	// CPU and GPU.
@@ -109,6 +120,11 @@ type Config struct {
 	RecordPeriodS float64
 	// MaxTimeS aborts runaway runs (default 900 s).
 	MaxTimeS float64
+	// MinTimeS keeps the simulation running (idle if need be) until this
+	// much simulated time has elapsed, even when all work has finished —
+	// the horizon of a scenario run. Zero preserves the classic
+	// behaviour: the run ends the moment the workload completes.
+	MinTimeS float64
 	// PkgBaselineFrac is the fraction of board baseline power that
 	// heats the package node (regulators near the SoC); default 0.5.
 	PkgBaselineFrac float64
@@ -121,11 +137,20 @@ type Config struct {
 	Integrator Integrator
 }
 
+// JobFinish records the completion of one enqueued application.
+type JobFinish struct {
+	// App is the application name; AtS the simulated completion time.
+	App string
+	AtS float64
+}
+
 // Result summarises a run.
 type Result struct {
-	// Completed is false when MaxTimeS elapsed first.
+	// Completed reports that every submitted job finished and every
+	// scheduled event fired (false when MaxTimeS elapsed first).
 	Completed bool
-	// ExecTimeS is the application execution time (Eq. 3's ET).
+	// ExecTimeS is the time the last work-item completed (Eq. 3's ET for
+	// a single-app run). Aborted runs report the elapsed time instead.
 	ExecTimeS float64
 	// EnergyJ is the meter-accumulated board energy; AvgPowerW the
 	// meter average.
@@ -145,6 +170,9 @@ type Result struct {
 	FreqTransitions int
 	// ThrottleEvents counts hardware trips.
 	ThrottleEvents int
+	// JobFinishes lists every completed job in completion order
+	// (multi-app scenario runs; a classic single-app run has one entry).
+	JobFinishes []JobFinish
 	// Trace is the recorded time series.
 	Trace *trace.Trace
 }
@@ -192,6 +220,23 @@ type Engine struct {
 	rateGPU    float64
 	ratesDirty bool
 
+	// live workload state: app is the job currently executing (nil when
+	// idle), curMap/curPart the in-effect mapping and partition — all
+	// three switchable mid-run by scenario events.
+	app     *workload.App
+	curMap  mapping.Mapping
+	curPart mapping.Partition
+	queue   []pendingJob
+
+	// scheduled events, sorted by tick (same-tick events keep
+	// registration order); evIdx points at the next undelivered one, so
+	// the per-tick dispatch check is one compare.
+	events []schedEvent
+	evIdx  int
+
+	running        bool
+	jobFinishes    []JobFinish
+	lastFinishS    float64
 	remCPU, remGPU float64 // remaining work-items
 	timeTicks      int
 	transitions    int
@@ -202,16 +247,33 @@ type Engine struct {
 	peakTemps      []float64
 }
 
+// pendingJob is one queued application arrival.
+type pendingJob struct {
+	app  *workload.App
+	part mapping.Partition
+}
+
+// schedEvent is one scheduled callback.
+type schedEvent struct {
+	tick int
+	fn   func(*Engine) error
+}
+
 // New validates the configuration and builds an engine.
 func New(cfg Config) (*Engine, error) {
-	if cfg.Platform == nil || cfg.Net == nil || cfg.App == nil {
+	if cfg.Platform == nil || cfg.Net == nil {
 		return nil, errors.New("sim: Platform, Net and App are required")
+	}
+	if cfg.App == nil && cfg.MinTimeS <= 0 {
+		return nil, errors.New("sim: Platform, Net and App are required (App may be nil only with MinTimeS set)")
 	}
 	if err := cfg.Platform.Validate(); err != nil {
 		return nil, err
 	}
-	if err := cfg.App.Validate(); err != nil {
-		return nil, err
+	if cfg.App != nil {
+		if err := cfg.App.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	big, lit, gpu := cfg.Platform.Big(), cfg.Platform.Little(), cfg.Platform.GPU()
 	if big == nil || lit == nil || gpu == nil {
@@ -219,6 +281,10 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if err := cfg.Map.Validate(big.NumCores, lit.NumCores); err != nil {
 		return nil, err
+	}
+	if cfg.App == nil && cfg.Part == (mapping.Partition{}) {
+		// An idle-start scenario run has no initial work to split.
+		cfg.Part = mapping.Partition{Num: 0, Den: 1}
 	}
 	if err := cfg.Part.Validate(); err != nil {
 		return nil, err
@@ -232,8 +298,14 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.RecordPeriodS == 0 {
 		cfg.RecordPeriodS = 0.1
 	}
+	if cfg.MinTimeS < 0 {
+		return nil, errors.New("sim: MinTimeS must be non-negative")
+	}
 	if cfg.MaxTimeS == 0 {
 		cfg.MaxTimeS = 900
+	}
+	if cfg.MaxTimeS < cfg.MinTimeS {
+		cfg.MaxTimeS = cfg.MinTimeS
 	}
 	if cfg.PkgBaselineFrac == 0 {
 		cfg.PkgBaselineFrac = 0.5
@@ -300,6 +372,9 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 
+	e.app = cfg.App
+	e.curMap = cfg.Map
+	e.curPart = cfg.Part
 	e.freqs = make([]int, len(cfg.Platform.Clusters))
 	e.volts = make([]float64, len(cfg.Platform.Clusters))
 	e.utils = make([]float64, len(cfg.Platform.Clusters))
@@ -323,40 +398,7 @@ func New(cfg Config) (*Engine, error) {
 	setDefault(e.litIdx, cfg.Freq.LittleMHz)
 	setDefault(e.gpuIdx, cfg.Freq.GPUMHz)
 
-	// Configuration-static load fields; the tick loop only refreshes
-	// frequency, voltage, temperature and utilisation.
-	for i := range cfg.Platform.Clusters {
-		c := &cfg.Platform.Clusters[i]
-		l := power.ClusterLoad{Activity: 1}
-		switch i {
-		case e.bigIdx:
-			l.ActiveCores = cfg.Map.Big
-			l.OnCores = c.NumCores
-			if cfg.HotplugUnused {
-				l.OnCores = cfg.Map.Big
-			}
-			l.Activity = cfg.App.ActivityCPU
-		case e.litIdx:
-			l.ActiveCores = cfg.Map.Little
-			l.OnCores = c.NumCores
-			if cfg.HotplugUnused {
-				l.OnCores = cfg.Map.Little
-			}
-			l.Activity = cfg.App.ActivityCPU
-		case e.gpuIdx:
-			l.ActiveCores = c.NumCores
-			l.OnCores = c.NumCores
-			if cfg.HotplugUnused && !cfg.Map.UseGPU {
-				l.ActiveCores = 0
-				l.OnCores = 0
-			}
-			if !cfg.Map.UseGPU {
-				l.ActiveCores = 0
-			}
-			l.Activity = cfg.App.ActivityGPU
-		}
-		e.loads[i] = l
-	}
+	e.rebuildLoads()
 
 	nodeNames := make([]string, len(cfg.Net.Nodes))
 	for i, n := range cfg.Net.Nodes {
@@ -368,17 +410,67 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.tr = trace.NewWithCap(nodeNames, clusterNames, int(cfg.MaxTimeS/cfg.RecordPeriodS)+2)
 
-	total := float64(cfg.App.WorkItems)
-	cpuItems := float64(cfg.Part.CPUItems(cfg.App.WorkItems))
-	e.remCPU = cpuItems
-	e.remGPU = total - cpuItems
-	if e.remCPU > 0 && cfg.Map.CPUCores() == 0 {
-		return nil, errors.New("sim: partition sends work to the CPU but the mapping uses no CPU cores")
-	}
-	if e.remGPU > 0 && !cfg.Map.UseGPU {
-		return nil, errors.New("sim: partition sends work to the GPU but the mapping does not use it")
+	if cfg.App != nil {
+		total := float64(cfg.App.WorkItems)
+		cpuItems := float64(cfg.Part.CPUItems(cfg.App.WorkItems))
+		e.remCPU = cpuItems
+		e.remGPU = total - cpuItems
+		if e.remCPU > 0 && cfg.Map.CPUCores() == 0 {
+			return nil, errors.New("sim: partition sends work to the CPU but the mapping uses no CPU cores")
+		}
+		if e.remGPU > 0 && !cfg.Map.UseGPU {
+			return nil, errors.New("sim: partition sends work to the GPU but the mapping does not use it")
+		}
 	}
 	return e, nil
+}
+
+// rebuildLoads recomputes the configuration-static load fields (core
+// counts, switching activity) from the live mapping and app. The tick
+// loop only refreshes frequency, voltage, temperature and utilisation;
+// this runs at New and again on mid-run mapping or app switches.
+func (e *Engine) rebuildLoads() {
+	actCPU, actGPU := 1.0, 1.0
+	if e.app != nil {
+		actCPU, actGPU = e.app.ActivityCPU, e.app.ActivityGPU
+	}
+	for i := range e.plat.Clusters {
+		c := &e.plat.Clusters[i]
+		l := power.ClusterLoad{Activity: 1}
+		switch i {
+		case e.bigIdx:
+			l.ActiveCores = e.curMap.Big
+			l.OnCores = c.NumCores
+			if e.cfg.HotplugUnused {
+				l.OnCores = e.curMap.Big
+			}
+			l.Activity = actCPU
+		case e.litIdx:
+			l.ActiveCores = e.curMap.Little
+			l.OnCores = c.NumCores
+			if e.cfg.HotplugUnused {
+				l.OnCores = e.curMap.Little
+			}
+			l.Activity = actCPU
+		case e.gpuIdx:
+			l.ActiveCores = c.NumCores
+			l.OnCores = c.NumCores
+			if e.cfg.HotplugUnused && !e.curMap.UseGPU {
+				l.ActiveCores = 0
+				l.OnCores = 0
+			}
+			if !e.curMap.UseGPU {
+				l.ActiveCores = 0
+			}
+			l.Activity = actGPU
+		}
+		// Preserve the per-tick fields the load already carries.
+		l.FreqMHz = e.loads[i].FreqMHz
+		l.VoltV = e.loads[i].VoltV
+		l.TempC = e.loads[i].TempC
+		l.Utilization = e.loads[i].Utilization
+		e.loads[i] = l
+	}
 }
 
 // setFreq is the single write path for cluster frequencies: it refreshes
@@ -389,13 +481,18 @@ func (e *Engine) setFreq(i, mhz int) {
 	e.ratesDirty = true
 }
 
-// rates returns the roofline work-item rates for the current frequencies,
-// recomputing them only after a DVFS transition.
+// rates returns the roofline work-item rates of the live app at the
+// current frequencies, recomputing them only after a DVFS transition or a
+// job/mapping switch.
 func (e *Engine) rates() (rateCPU, rateGPU float64) {
 	if e.ratesDirty {
-		m := e.cfg.Map
-		e.rateCPU = e.cfg.App.CPURate(m.Big, m.Little, e.freqs[e.bigIdx], e.freqs[e.litIdx])
-		e.rateGPU = e.cfg.App.GPURate(e.plat.Clusters[e.gpuIdx].NumCores, e.freqs[e.gpuIdx])
+		if e.app != nil {
+			m := e.curMap
+			e.rateCPU = e.app.CPURate(m.Big, m.Little, e.freqs[e.bigIdx], e.freqs[e.litIdx])
+			e.rateGPU = e.app.GPURate(e.plat.Clusters[e.gpuIdx].NumCores, e.freqs[e.gpuIdx])
+		} else {
+			e.rateCPU, e.rateGPU = 0, 0
+		}
 		e.ratesDirty = false
 	}
 	return e.rateCPU, e.rateGPU
@@ -435,11 +532,16 @@ func (e *Engine) SetClusterFreqMHz(cluster string, mhz int) error {
 	}
 	c := &e.plat.Clusters[i]
 	f := c.NearestOPP(mhz).FreqMHz
-	if e.throttled && i == e.bigIdx && f > e.plat.TripCapMHz {
-		// Hardware protection wins; remember the request for
-		// release.
+	if e.throttled && i == e.bigIdx {
+		// While throttled the governor's latest request becomes the
+		// release target, whether the hardware grants it now (at or
+		// below the cap) or only after release (above it) — restoring
+		// an older pre-trip frequency would override the governor's
+		// newer decision.
 		e.preThrottleMHz = f
-		f = c.FloorOPP(e.plat.TripCapMHz).FreqMHz
+		if f > e.plat.TripCapMHz {
+			f = c.FloorOPP(e.plat.TripCapMHz).FreqMHz
+		}
 	}
 	if f != e.freqs[i] {
 		e.setFreq(i, f)
@@ -460,17 +562,198 @@ func (e *Engine) ClusterUtil(cluster string) float64 {
 // Throttled implements Machine.
 func (e *Engine) Throttled() bool { return e.throttled }
 
+// --- scenario hooks -----------------------------------------------------------
+
+// ScheduleAt registers fn to run at simulated time tS, snapped to the
+// nearest tick. Events on the same tick fire in registration order, before
+// hardware protection and the governor step of that tick. Calling this
+// mid-run (from an event callback) is allowed for strictly future times.
+func (e *Engine) ScheduleAt(tS float64, fn func(*Engine) error) error {
+	if fn == nil {
+		return errors.New("sim: ScheduleAt needs a callback")
+	}
+	tick := int(tS/e.cfg.TickS + 0.5)
+	if tick < 0 {
+		return fmt.Errorf("sim: ScheduleAt(%g) is before t=0", tS)
+	}
+	if e.running && tick <= e.timeTicks {
+		return fmt.Errorf("sim: ScheduleAt(%g) is not in the future (t=%g)", tS, e.TimeS())
+	}
+	ev := schedEvent{tick: tick, fn: fn}
+	// Insert into the undelivered tail, keeping tick order; the scan
+	// stops at an equal tick, so same-tick events keep registration
+	// order.
+	pos := len(e.events)
+	for pos > e.evIdx && (e.events[pos-1].tick > ev.tick) {
+		pos--
+	}
+	e.events = append(e.events, schedEvent{})
+	copy(e.events[pos+1:], e.events[pos:])
+	e.events[pos] = ev
+	return nil
+}
+
+// EnqueueApp submits an application with its work-item partition: it
+// starts immediately when the engine is idle, otherwise it queues FIFO
+// behind the running and already queued jobs (a queued job starts on the
+// tick after its predecessor completes). Feasibility against the live
+// mapping is checked when the job starts, since the mapping may change in
+// between.
+func (e *Engine) EnqueueApp(app *workload.App, part mapping.Partition) error {
+	if app == nil {
+		return errors.New("sim: EnqueueApp needs an app")
+	}
+	if err := app.Validate(); err != nil {
+		return err
+	}
+	if err := part.Validate(); err != nil {
+		return err
+	}
+	if e.app != nil {
+		e.queue = append(e.queue, pendingJob{app: app, part: part})
+		return nil
+	}
+	return e.startJob(app, part)
+}
+
+// QueuedJobs returns the number of submitted-but-not-started jobs.
+func (e *Engine) QueuedJobs() int { return len(e.queue) }
+
+// startJob makes app the live workload, splitting its work-items by part.
+func (e *Engine) startJob(app *workload.App, part mapping.Partition) error {
+	total := float64(app.WorkItems)
+	cpuItems := float64(part.CPUItems(app.WorkItems))
+	if cpuItems > 0 && e.curMap.CPUCores() == 0 {
+		return fmt.Errorf("sim: job %s sends work to the CPU but the mapping uses no CPU cores", app.Name)
+	}
+	if total-cpuItems > 0 && !e.curMap.UseGPU {
+		return fmt.Errorf("sim: job %s sends work to the GPU but the mapping does not use it", app.Name)
+	}
+	e.app = app
+	e.curPart = part
+	e.remCPU = cpuItems
+	e.remGPU = total - cpuItems
+	e.ratesDirty = true
+	e.rebuildLoads()
+	// Prime utilisation with the pending load (mapped clusters only), so
+	// a utilisation-driven governor acting on the arrival tick sees the
+	// work about to run instead of dipping to minimum frequency — the
+	// same priming a classic Config.App run gets before Start.
+	if e.remCPU > 0 {
+		if e.curMap.Big > 0 {
+			e.utils[e.bigIdx] = 1
+		}
+		if e.curMap.Little > 0 {
+			e.utils[e.litIdx] = 1
+		}
+	}
+	if e.remGPU > 0 {
+		e.utils[e.gpuIdx] = 1
+	}
+	return nil
+}
+
+// SetGovernor switches the DVFS policy mid-run (nil disables software
+// control). During a run the new policy's Start is invoked immediately, as
+// if the kernel had just swapped cpufreq governors.
+func (e *Engine) SetGovernor(g Governor) error {
+	e.cfg.Governor = g
+	if g == nil {
+		e.govEvery = 0
+		return nil
+	}
+	p := g.PeriodS()
+	if p <= 0 {
+		return fmt.Errorf("sim: governor %s has non-positive period", g.Name())
+	}
+	e.govEvery = int(p/e.cfg.TickS + 0.5)
+	if e.govEvery < 1 {
+		e.govEvery = 1
+	}
+	if e.running {
+		return g.Start(e)
+	}
+	return nil
+}
+
+// SetMapping switches the CPU/GPU mapping mid-run (e.g. a core is taken
+// away by another tenant). The live job's remaining work must stay
+// feasible on the new mapping.
+func (e *Engine) SetMapping(m mapping.Mapping) error {
+	big, lit := e.plat.Big(), e.plat.Little()
+	if err := m.Validate(big.NumCores, lit.NumCores); err != nil {
+		return err
+	}
+	if e.remCPU > 0 && m.CPUCores() == 0 {
+		return errors.New("sim: new mapping uses no CPU cores but CPU work remains")
+	}
+	if e.remGPU > 0 && !m.UseGPU {
+		return errors.New("sim: new mapping drops the GPU but GPU work remains")
+	}
+	e.curMap = m
+	e.ratesDirty = true
+	e.rebuildLoads()
+	return nil
+}
+
+// SetPartition re-splits the live job's remaining work-items between CPU
+// and GPU by the new partition (an online repartitioning decision).
+func (e *Engine) SetPartition(p mapping.Partition) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	rem := e.remCPU + e.remGPU
+	cpu := p.CPUFrac() * rem
+	if cpu > 0 && e.curMap.CPUCores() == 0 {
+		return errors.New("sim: partition sends work to the CPU but the mapping uses no CPU cores")
+	}
+	if rem-cpu > 0 && !e.curMap.UseGPU {
+		return errors.New("sim: partition sends work to the GPU but the mapping does not use it")
+	}
+	e.curPart = p
+	e.remCPU = cpu
+	e.remGPU = rem - cpu
+	e.ratesDirty = true
+	return nil
+}
+
+// dispatchEvents fires every event due at the current tick. Kept out of
+// tick so the steady-state path pays only the guarding compare.
+func (e *Engine) dispatchEvents() error {
+	for e.evIdx < len(e.events) && e.events[e.evIdx].tick <= e.timeTicks {
+		ev := e.events[e.evIdx]
+		e.evIdx++
+		if err := ev.fn(e); err != nil {
+			return fmt.Errorf("sim: event at t=%gs: %w", float64(ev.tick)*e.cfg.TickS, err)
+		}
+	}
+	return nil
+}
+
 // --- run loop ---------------------------------------------------------------
 
-// Run executes the configured workload to completion (or MaxTimeS).
+// Run executes the configured workload — plus any queued arrivals and
+// scheduled events — to completion (or MaxTimeS). An engine runs once;
+// reusing it would replay the policy on exhausted work and duplicate trace
+// samples, so a second Run is rejected.
 func (e *Engine) Run() (*Result, error) {
+	if e.running {
+		return nil, errors.New("sim: Run called twice on one engine (build a new engine per run)")
+	}
+	e.running = true
 	dt := e.cfg.TickS
 	// Prime utilisation with the pending load so a utilisation-driven
 	// governor's first decision sees the work that is about to run
-	// (avoids a one-period dip to minimum frequency at t=0).
+	// (avoids a one-period dip to minimum frequency at t=0). Only
+	// clusters the mapping actually uses look busy — an unused cluster
+	// must read 0 or the governor pins idle silicon at max frequency.
 	if e.remCPU > 0 {
-		e.utils[e.bigIdx] = 1
-		e.utils[e.litIdx] = 1
+		if e.curMap.Big > 0 {
+			e.utils[e.bigIdx] = 1
+		}
+		if e.curMap.Little > 0 {
+			e.utils[e.litIdx] = 1
+		}
 	}
 	if e.remGPU > 0 {
 		e.utils[e.gpuIdx] = 1
@@ -493,28 +776,57 @@ func (e *Engine) Run() (*Result, error) {
 	if e.recEvery < 1 {
 		e.recEvery = 1
 	}
-	maxTicks := int(e.cfg.MaxTimeS / dt)
+	// Round like ScheduleAt and minTicks do: truncation would let a
+	// horizon-clamped MaxTimeS end the loop one tick before a final
+	// scheduled event, leaving it undelivered.
+	maxTicks := int(e.cfg.MaxTimeS/dt + 0.5)
+	minTicks := int(e.cfg.MinTimeS/dt + 0.5)
 
-	var execTime float64
-	completed := false
 	for ; e.timeTicks < maxTicks; e.timeTicks++ {
 		finishedAt, err := e.tick(dt)
 		if err != nil {
 			return nil, err
 		}
 		if finishedAt >= 0 {
-			execTime = float64(e.timeTicks)*dt + finishedAt
-			completed = true
+			// The live job completed inside this tick; the next
+			// queued arrival starts on the following tick.
+			e.lastFinishS = float64(e.timeTicks)*dt + finishedAt
+			e.jobFinishes = append(e.jobFinishes, JobFinish{App: e.app.Name, AtS: e.lastFinishS})
+			e.app = nil
+			e.ratesDirty = true
+			e.rebuildLoads()
+			if len(e.queue) > 0 {
+				j := e.queue[0]
+				e.queue = e.queue[1:]
+				if err := e.startJob(j.app, j.part); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if e.app == nil && len(e.queue) == 0 && e.evIdx >= len(e.events) && e.timeTicks+1 >= minTicks {
 			e.timeTicks++
 			break
 		}
 	}
+	completed := e.app == nil && len(e.queue) == 0 && e.evIdx >= len(e.events)
+	execTime := e.lastFinishS
 	if !completed {
 		execTime = float64(e.timeTicks) * dt
 	}
-	// Final trace sample so metrics cover the full run.
-	if err := e.evalPower(0, 0, 0, 0); err == nil {
-		_ = e.record(e.bd.TotalW())
+	// Final trace sample so metrics cover the full run. A drained engine
+	// closes with a self-consistent idle sample (zero utilisation AND
+	// idle power); an aborted one records the last tick's still-busy
+	// state, which e.utils and e.bd already hold as a consistent pair.
+	if completed {
+		for i := range e.utils {
+			e.utils[i] = 0
+		}
+		if err := e.evalPower(0, 0, 0, 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.record(e.bd.TotalW()); err != nil {
+		return nil, err
 	}
 
 	bigNode := e.nodeOf[e.bigIdx]
@@ -530,16 +842,24 @@ func (e *Engine) Run() (*Result, error) {
 		AvgBigFreqMHz:   e.tr.AvgFreqMHz(e.bigIdx),
 		FreqTransitions: e.transitions,
 		ThrottleEvents:  e.throttleEvents,
+		JobFinishes:     e.jobFinishes,
 		Trace:           e.tr,
 	}
 	return res, nil
 }
 
-// tick advances one simulation step of dt seconds: hardware protection,
-// governor control, workload, power, thermal, metering and trace
-// recording. It allocates nothing at steady state. A non-negative
-// finishedAt is the in-tick offset at which the workload completed.
+// tick advances one simulation step of dt seconds: scheduled events,
+// hardware protection, governor control, workload, power, thermal,
+// metering and trace recording. It allocates nothing at steady state. A
+// non-negative finishedAt is the in-tick offset at which the live job
+// completed.
 func (e *Engine) tick(dt float64) (finishedAt float64, err error) {
+	// Scheduled scenario events: one compare when none are due.
+	if e.evIdx < len(e.events) && e.events[e.evIdx].tick <= e.timeTicks {
+		if err := e.dispatchEvents(); err != nil {
+			return -1, err
+		}
+	}
 	// Hardware thermal protection (checked every tick, like the TMU
 	// interrupt).
 	if !e.cfg.DisableHWProtect {
@@ -551,10 +871,19 @@ func (e *Engine) tick(dt float64) (finishedAt float64, err error) {
 			return -1, err
 		}
 	}
-	// Advance workload.
+	// Advance workload. Only clusters the live mapping uses report the
+	// CPU busy fraction: governors must see idle silicon as idle, not
+	// inherit the busy clusters' utilisation.
 	cpuBusy, gpuBusy, rateCPU, rateGPU, finishedAt := e.advanceWork(dt)
-	e.utils[e.bigIdx] = cpuBusy
-	e.utils[e.litIdx] = cpuBusy
+	bigBusy, litBusy := cpuBusy, cpuBusy
+	if e.curMap.Big == 0 {
+		bigBusy = 0
+	}
+	if e.curMap.Little == 0 {
+		litBusy = 0
+	}
+	e.utils[e.bigIdx] = bigBusy
+	e.utils[e.litIdx] = litBusy
 	e.utils[e.gpuIdx] = gpuBusy
 
 	// Power and thermal.
@@ -611,9 +940,11 @@ func (e *Engine) hwProtect() {
 // the busy fractions of the tick, the work-item rates in effect (for the
 // memory-traffic model, avoiding a second roofline evaluation) plus, when
 // everything finished inside the tick, the offset (< dt) at which the last
-// chunk completed (-1 otherwise).
+// chunk completed (-1 otherwise, including on idle ticks with no live
+// job, so an idle engine does not report a completion every tick).
 func (e *Engine) advanceWork(dt float64) (cpuBusy, gpuBusy, rateCPU, rateGPU, finishedAt float64) {
 	finishedAt = -1
+	hadWork := e.remCPU > 0 || e.remGPU > 0
 	cpuBusy = 0
 	cpuDone := e.remCPU <= 0
 	if !cpuDone {
@@ -644,14 +975,13 @@ func (e *Engine) advanceWork(dt float64) (cpuBusy, gpuBusy, rateCPU, rateGPU, fi
 			}
 		}
 	}
-	if e.remCPU <= 0 && e.remGPU <= 0 {
+	if hadWork && e.remCPU <= 0 && e.remGPU <= 0 {
 		// Finished within this tick: the later chunk defines the
 		// offset.
 		off := cpuBusy * dt
 		if g := gpuBusy * dt; g > off {
 			off = g
 		}
-		// If both were already done before this tick, off is 0.
 		finishedAt = off
 	}
 	return cpuBusy, gpuBusy, rateCPU, rateGPU, finishedAt
@@ -679,15 +1009,20 @@ func (e *Engine) evalPower(cpuBusy, gpuBusy, rateCPU, rateGPU float64) error {
 		}
 		l.Utilization = busy
 	}
-	// Memory traffic follows the aggregate processing rate.
-	memRate := 0.0
-	if cpuBusy > 0 {
-		memRate += rateCPU * cpuBusy
+	// Memory traffic follows the aggregate processing rate of the live
+	// app (an idle engine generates none).
+	memGBs := 0.0
+	if e.app != nil {
+		memRate := 0.0
+		if cpuBusy > 0 {
+			memRate += rateCPU * cpuBusy
+		}
+		if gpuBusy > 0 {
+			memRate += rateGPU * gpuBusy
+		}
+		memGBs = e.app.MemGBs(memRate)
 	}
-	if gpuBusy > 0 {
-		memRate += rateGPU * gpuBusy
-	}
-	return e.pow.EvaluateInto(&e.bd, e.loads, e.cfg.App.MemGBs(memRate))
+	return e.pow.EvaluateInto(&e.bd, e.loads, memGBs)
 }
 
 // stepThermal injects the power breakdown into the RC network. The exact
@@ -723,8 +1058,11 @@ func (e *Engine) record(totalW float64) error {
 // SteadyTemps computes the equilibrium temperatures of a hypothetical
 // constant operating point — used by warm-start helpers and calibration.
 func (e *Engine) SteadyTemps(cpuBusy, gpuBusy float64) ([]float64, error) {
-	app := e.cfg.App
-	m := e.cfg.Map
+	app := e.app
+	if app == nil {
+		return nil, errors.New("sim: SteadyTemps needs a live app")
+	}
+	m := e.curMap
 	rateCPU := app.CPURate(m.Big, m.Little, e.freqs[e.bigIdx], e.freqs[e.litIdx])
 	rateGPU := app.GPURate(e.plat.Clusters[e.gpuIdx].NumCores, e.freqs[e.gpuIdx])
 	if err := e.evalPower(cpuBusy, gpuBusy, rateCPU, rateGPU); err != nil {
@@ -773,7 +1111,8 @@ func (e *Engine) PeakTemps() []float64 {
 // RunWarm reproduces the paper's measurement protocol: execute the job
 // once as a discarded warm-up (starting from WarmStartTemps) so the
 // package reaches its operating regime, then run again from the resulting
-// temperatures and report that steady-regime run.
+// temperatures and report that steady-regime run. The warm-up regime
+// comes from a single run's trace — engines run exactly once.
 func RunWarm(cfg Config) (*Result, error) {
 	warm, err := WarmStartTemps(cfg)
 	if err != nil {
@@ -782,9 +1121,6 @@ func RunWarm(cfg Config) (*Result, error) {
 	cfg.InitialTempsC = warm
 	e1, err := New(cfg)
 	if err != nil {
-		return nil, err
-	}
-	if _, err := e1.Run(); err != nil {
 		return nil, err
 	}
 	res1, err := e1.Run()

@@ -51,6 +51,7 @@ import (
 	"teem/internal/mapping"
 	"teem/internal/profile"
 	"teem/internal/regress"
+	"teem/internal/scenario"
 	"teem/internal/sim"
 	"teem/internal/soc"
 	"teem/internal/thermal"
@@ -244,6 +245,63 @@ type (
 func RunCampaign(cc CampaignConfig, jobs []Job) (*CampaignResult, error) {
 	return sim.RunCampaign(cc, jobs)
 }
+
+// --- scenarios (internal/scenario) --------------------------------------------
+
+// Scenario is a declarative dynamic-workload description: application
+// arrivals from a FIFO queue, ambient steps and ramps, mid-run governor /
+// partition / mapping switches, and assertions — the online situations an
+// adaptive manager must survive.
+type Scenario = scenario.Scenario
+
+// ScenarioEvent is one timeline entry of a Scenario.
+type ScenarioEvent = scenario.Event
+
+// ScenarioBuilder assembles a Scenario fluently (NewScenario).
+type ScenarioBuilder = scenario.Builder
+
+// ScenarioConfig parameterises scenario execution (platform, integrator,
+// governor override, custom governor registry).
+type ScenarioConfig = scenario.Config
+
+// ScenarioResult is one executed scenario × governor cell; GridResult a
+// whole matrix.
+type (
+	ScenarioResult     = scenario.Result
+	ScenarioGridResult = scenario.GridResult
+)
+
+// GovernorFactory builds a fresh governor per scenario run.
+type GovernorFactory = scenario.GovernorFactory
+
+// JobFinish records one application completion inside a run.
+type JobFinish = sim.JobFinish
+
+// NewScenario starts a scenario builder with the default 2L+4B+GPU
+// mapping.
+func NewScenario(name string) *ScenarioBuilder { return scenario.New(name) }
+
+// LoadScenario reads a scenario from JSON (write one with Scenario.Save).
+func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
+
+// RunScenario executes one scenario deterministically.
+func RunScenario(sc *Scenario, rc ScenarioConfig) (*ScenarioResult, error) {
+	return scenario.Run(sc, rc)
+}
+
+// RunScenarioGrid fans a scenario × governor matrix out across a bounded
+// worker pool (workers: 0 = one per CPU, 1 = serial); output is
+// byte-identical either way.
+func RunScenarioGrid(scs []*Scenario, governors []string, rc ScenarioConfig, workers int) (*ScenarioGridResult, error) {
+	return scenario.RunGrid(scs, governors, rc, workers)
+}
+
+// ScenarioPresets returns the built-in scenario corpus (sunlight,
+// rush-hour, core-loss).
+func ScenarioPresets() []*Scenario { return scenario.Presets() }
+
+// ScenarioGovernors lists the stock governor registry names.
+func ScenarioGovernors() []string { return scenario.GovernorNames() }
 
 // --- governors (internal/governor) ---------------------------------------------
 
