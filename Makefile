@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-json ci
+.PHONY: build vet fmt test race bench bench-json scenario-gate ci
 
 build:
 	$(GO) build ./...
@@ -32,9 +32,16 @@ bench:
 # BENCH_<date>.json — ns/op, B/op and allocs/op per benchmark. CI uploads
 # it as a non-gating artifact so the perf trajectory is tracked across PRs.
 BENCH_DATE := $(shell date -u +%Y-%m-%d)
-BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioGrid|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto'
+BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioPreempt|BenchmarkScenarioGrid|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto'
 bench-json:
 	$(GO) test -run='^$$' -bench=$(BENCH_CORE) -benchmem ./internal/sim ./internal/scenario ./internal/thermal ./internal/power . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
 
-ci: build vet fmt test race bench
+# Curated scenario-corpus regression gate: every preset (hand-authored
+# and trace-replayed, preemption and departures included) under the
+# ondemand baseline and the TEEM controller. teemscenario exits non-zero
+# on any assertion violation or cell error, failing the gate.
+scenario-gate:
+	$(GO) run ./cmd/teemscenario -govs ondemand,teem
+
+ci: build vet fmt test race bench scenario-gate

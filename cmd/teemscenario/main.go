@@ -1,14 +1,22 @@
 // Command teemscenario runs declarative dynamic-workload scenarios —
-// application arrivals, ambient steps and ramps, mid-run governor /
-// partition / mapping switches — against the simulated platform, fanning
-// the scenario × governor grid across a bounded worker pool. Assertion
-// violations are reported and reflected in the exit code, so scenario
-// files double as an executable regression corpus.
+// application arrivals with priorities and deadlines (higher priority
+// preempts), departures that cancel queued or live jobs, ambient steps
+// and ramps, mid-run governor / partition / mapping switches — against
+// the simulated platform, fanning the scenario × governor grid across a
+// bounded worker pool. Assertion violations are reported and reflected in
+// the exit code, so scenario files double as an executable regression
+// corpus (`make scenario-gate` runs the preset corpus in CI).
+//
+// Recorded arrival logs replay as scenarios via -replay: each record
+// (app, at_s, priority, deadline_s, hold_s) becomes an arrival — plus a
+// departure when the tenant's hold expires — compiled to the same
+// deterministic timeline a hand-authored scenario uses.
 //
 // Usage:
 //
 //	teemscenario -preset rush-hour -govs ondemand,teem
 //	teemscenario -f sunlight.json -govs teem -workers 4
+//	teemscenario -replay trace.json -govs teem
 //	teemscenario -list
 //	teemscenario -preset sunlight -dump          # print the JSON schema by example
 package main
@@ -32,7 +40,8 @@ func main() {
 
 	var (
 		files      = flag.String("f", "", "comma-separated scenario JSON files")
-		preset     = flag.String("preset", "", "built-in scenario: sunlight, rush-hour, core-loss (empty with -f)")
+		replay     = flag.String("replay", "", "comma-separated recorded arrival-log JSON files to replay as scenarios")
+		preset     = flag.String("preset", "", "built-in scenario: sunlight, rush-hour, core-loss, preempt-storm, tenant-churn, replay-sample (empty with -f)")
 		govs       = flag.String("govs", "", "comma-separated governors to grid over (default: the union of the scenarios' initial policies)")
 		workers    = flag.Int("workers", 0, "worker pool bound (0 = one per CPU, 1 = serial)")
 		integrator = flag.String("integrator", "exact", "thermal integrator: exact or euler")
@@ -61,6 +70,24 @@ func main() {
 			}
 			s, err := scenario.Load(f)
 			f.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			scs = append(scs, s)
+		}
+	}
+	if *replay != "" {
+		for _, path := range strings.Split(*replay, ",") {
+			f, err := os.Open(strings.TrimSpace(path))
+			if err != nil {
+				log.Fatal(err)
+			}
+			tr, err := scenario.LoadTrace(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			s, err := scenario.FromTrace(tr)
 			if err != nil {
 				log.Fatalf("%s: %v", path, err)
 			}

@@ -53,6 +53,10 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, row := range grid.Cells[0] {
+		if row.Sim == nil {
+			// A failed cell carries its error as a violation.
+			log.Fatalf("%s under %s failed: %v", row.Scenario, row.Governor, row.Violations)
+		}
 		name := "fixed design point"
 		if row.Governor == "teem" {
 			name = "TEEM controller"

@@ -22,3 +22,14 @@ func (e *Env) ScenarioGrid(scs []*scenario.Scenario, governors []string) (*scena
 func (e *Env) ScenarioPresets() (*scenario.GridResult, error) {
 	return e.ScenarioGrid(scenario.Presets(), nil)
 }
+
+// ScenarioReplay compiles a recorded arrival log (trace-driven replay)
+// and runs it under the named governors on the environment's platform —
+// measured device traces through the same grid machinery as the presets.
+func (e *Env) ScenarioReplay(tr *scenario.ArrivalTrace, governors []string) (*scenario.GridResult, error) {
+	sc, err := scenario.FromTrace(tr)
+	if err != nil {
+		return nil, err
+	}
+	return e.ScenarioGrid([]*scenario.Scenario{sc}, governors)
+}

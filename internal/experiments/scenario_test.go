@@ -33,6 +33,35 @@ func TestScenarioGridDeterminism(t *testing.T) {
 	}
 }
 
+// A recorded arrival log replays through the environment's grid
+// machinery: compiled scenario, per-governor cells, clean assertions.
+func TestScenarioReplay(t *testing.T) {
+	env, err := NewEnvWith(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := env.ScenarioReplay(&scenario.ArrivalTrace{
+		Name: "replayed-log",
+		Records: []scenario.TraceRecord{
+			{App: "COVARIANCE", AtS: 0},
+			{App: "MVT", AtS: 4, Priority: 2, HoldS: 3},
+		},
+	}, []string{"ondemand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := g.Cell("replayed-log", "ondemand")
+	if cell == nil || cell.Sim == nil || !cell.Sim.Completed {
+		t.Fatalf("replay cell missing or incomplete: %+v", cell)
+	}
+	if n := g.Violations(); n != 0 {
+		t.Errorf("replay grid reported %d violations:\n%s", n, g.Render())
+	}
+	if _, err := env.ScenarioReplay(&scenario.ArrivalTrace{Name: "empty"}, nil); err == nil {
+		t.Error("empty arrival trace accepted")
+	}
+}
+
 // The preset corpus must hold its assertions under every stock governor.
 func TestScenarioPresetsPass(t *testing.T) {
 	env, err := NewEnv()

@@ -19,6 +19,23 @@ func BenchmarkScenarioRun(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioPreempt executes the preempt-storm preset — nested
+// priority preemptions with suspend/resume through the job queue — the
+// preemptive scheduler's entry in the BENCH_<date>.json perf trajectory.
+func BenchmarkScenarioPreempt(b *testing.B) {
+	sc := PreemptStorm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(sc, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Sim.Completed {
+			b.Fatal("preempt-storm did not complete")
+		}
+	}
+}
+
 // BenchmarkScenarioGrid measures the scenario × governor fan-out across
 // the worker pool (presets × stock governors).
 func BenchmarkScenarioGrid(b *testing.B) {

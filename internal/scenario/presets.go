@@ -58,12 +58,81 @@ func CoreLoss() *Scenario {
 	return s
 }
 
-// Presets returns the built-in scenario corpus in stable order.
-func Presets() []*Scenario {
-	return []*Scenario{Sunlight(), RushHour(), CoreLoss()}
+// PreemptStorm is the bursty-preemption stress test: a long
+// default-priority COVARIANCE carries the session while short
+// higher-priority jobs land on top of it — MVT (prio 2) preempts
+// COVARIANCE, then SYRK (prio 3) preempts MVT while it runs (nested
+// preemption), and a second MVT burst arrives after the stack unwinds.
+// Every suspended job must resume with its remaining work intact and the
+// whole pile must drain.
+func PreemptStorm() *Scenario {
+	s, err := New("preempt-storm").
+		ArriveDefault(0, "COVARIANCE").
+		ArrivePriority(6, "MVT", 2).
+		ArrivePriority(10, "SYRK", 3).
+		ArrivePriority(40, "MVT", 2).
+		AssertPeakBelow("A15", 99).
+		RequireCompletion().
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
-// PresetByName resolves a preset ("sunlight", "rush-hour", "core-loss").
+// MultiTenantChurn models tenants sharing one chip: a background tenant
+// (COVARIANCE) is preempted by a higher-priority GEMM that departs
+// mid-run (cancelling its unfinished work), a co-tenant steals two big
+// cores while COVARIANCE is live again, and SYRK preempts once more
+// before the cores come back — arrivals, departures, priorities and
+// mapping churn in one timeline.
+func MultiTenantChurn() *Scenario {
+	s, err := New("tenant-churn").
+		ArriveDefault(0, "COVARIANCE").
+		ArrivePriority(4, "GEMM", 1).
+		Depart(10, "GEMM").
+		SwitchMapping(12, mapping.Mapping{Big: 2, Little: 2, UseGPU: true}).
+		ArrivePriority(18, "SYRK", 1).
+		SwitchMapping(30, mapping.Mapping{Big: 4, Little: 2, UseGPU: true}).
+		AssertPeakBelow("A15", 99).
+		RequireCompletion().
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ReplaySample is the trace-driven member of the corpus: a small recorded
+// arrival log — priority bursts, a top-priority tenant that leaves after
+// six seconds with its job half done — compiled through FromTrace exactly
+// like a measured device trace fed to `teemscenario -replay`.
+func ReplaySample() *Scenario {
+	s, err := FromTrace(&ArrivalTrace{
+		Name: "replay-sample",
+		Records: []TraceRecord{
+			{App: "COVARIANCE", AtS: 0},
+			{App: "MVT", AtS: 5, Priority: 2},
+			{App: "GEMM", AtS: 8, Priority: 3, HoldS: 6},
+			{App: "SYRK", AtS: 45},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Presets returns the built-in scenario corpus in stable order.
+func Presets() []*Scenario {
+	return []*Scenario{
+		Sunlight(), RushHour(), CoreLoss(),
+		PreemptStorm(), MultiTenantChurn(), ReplaySample(),
+	}
+}
+
+// PresetByName resolves a preset ("sunlight", "rush-hour", "core-loss",
+// "preempt-storm", "tenant-churn", "replay-sample").
 func PresetByName(name string) *Scenario {
 	for _, s := range Presets() {
 		if s.Name == name {

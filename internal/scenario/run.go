@@ -139,6 +139,26 @@ func Run(sc *Scenario, rc Config) (*Result, error) {
 
 	res := &Result{Scenario: sc.Name, Governor: govName}
 	ambient := plat.AmbientC
+	// Job-handle bookkeeping for departures and deadlines. Events
+	// dispatch in timeline order on the single run goroutine, so the
+	// closures below share these maps without synchronisation: an
+	// arrival appends the id the engine minted under its app name (and
+	// under app+job when tagged), a departure pops the oldest pending
+	// id of its key. Ids cancelled through one key are skipped under
+	// the other (CancelJob reports them not active).
+	pendingIDs := map[string][]int{}
+	subKey := func(app, job string) string {
+		if job == "" {
+			return app
+		}
+		return app + "\x00" + job
+	}
+	type deadlineCheck struct {
+		app string
+		id  int
+		byS float64
+	}
+	var deadlines []deadlineCheck
 	for _, ev := range sc.sortedEvents() {
 		ev := ev
 		switch ev.Kind {
@@ -152,7 +172,53 @@ func Run(sc *Scenario, rc Config) (*Result, error) {
 				part = *ev.Part
 			}
 			err = e.ScheduleAt(ev.AtS, func(e *sim.Engine) error {
-				return e.EnqueueApp(app, part)
+				id, err := e.EnqueueAppPriority(app, part, ev.Priority)
+				if err != nil {
+					return err
+				}
+				pendingIDs[app.Name] = append(pendingIDs[app.Name], id)
+				if ev.Job != "" {
+					k := subKey(app.Name, ev.Job)
+					pendingIDs[k] = append(pendingIDs[k], id)
+				}
+				if ev.DeadlineS > 0 {
+					deadlines = append(deadlines, deadlineCheck{app: app.Name, id: id, byS: ev.AtS + ev.DeadlineS})
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		case KindDeparture:
+			key := subKey(ev.App, ev.Job)
+			err := e.ScheduleAt(ev.AtS, func(e *sim.Engine) error {
+				ids := pendingIDs[key]
+				if len(ids) == 0 {
+					res.Violations = append(res.Violations,
+						fmt.Sprintf("t=%gs: departure of %s with no submitted job", ev.AtS, ev.App))
+					return nil
+				}
+				// Cancel the oldest still-pending submission under this
+				// key (the exact tagged instance, or name-FIFO for
+				// untagged departures): ids that already finished or
+				// were cancelled through the other key are skipped, so
+				// a departure is not swallowed by an earlier same-app
+				// job that drained.
+				for len(ids) > 0 {
+					id := ids[0]
+					ids = ids[1:]
+					pendingIDs[key] = ids
+					err := e.CancelJob(id)
+					if err == nil {
+						return nil
+					}
+					if !errors.Is(err, sim.ErrJobNotActive) {
+						return err
+					}
+				}
+				// Every submission finished before the tenant left —
+				// nothing to drop.
+				return nil
 			})
 			if err != nil {
 				return nil, err
@@ -208,6 +274,39 @@ func Run(sc *Scenario, rc Config) (*Result, error) {
 		return nil, fmt.Errorf("scenario %s under %s: %w", sc.Name, govName, err)
 	}
 	res.Sim = sr
+
+	// Deadline checks: an arrival with deadline_s must have finished in
+	// time. A job that departed *before its deadline* is exempt — its
+	// deadline left the system with it; one cancelled after the deadline
+	// had already passed still missed it.
+	for _, dc := range deadlines {
+		exempt := false
+		for _, c := range sr.JobCancels {
+			if c.ID == dc.id && c.AtS <= dc.byS {
+				exempt = true
+				break
+			}
+		}
+		if exempt {
+			continue
+		}
+		finished := false
+		for _, jf := range sr.JobFinishes {
+			if jf.ID != dc.id {
+				continue
+			}
+			finished = true
+			if jf.AtS > dc.byS {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("deadline: %s finished at %.2f s, after its %.2f s deadline", dc.app, jf.AtS, dc.byS))
+			}
+			break
+		}
+		if !finished {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("deadline: %s never finished (deadline %.2f s)", dc.app, dc.byS))
+		}
+	}
 
 	for _, fc := range sc.Final {
 		if fc.Node != "" && fc.PeakMaxC > 0 {
@@ -276,6 +375,12 @@ type GridResult struct {
 // assembled by index, so parallel output is byte-identical to serial
 // output; every cell builds its own engine and governor instance, so the
 // grid is race-free by construction.
+//
+// A cell whose run fails does not abort the grid: the error is captured
+// as that cell's violation (Sim stays nil) so every other cell still
+// runs and the grid — and the teemscenario exit-code gate built on
+// Violations — reports the full picture. Only structural misuse (an
+// empty or nil-bearing grid) returns an error.
 func RunGrid(scs []*Scenario, governors []string, rc Config, workers int) (*GridResult, error) {
 	if len(scs) == 0 {
 		return nil, errors.New("scenario: empty grid (no scenarios)")
@@ -303,7 +408,11 @@ func RunGrid(scs []*Scenario, governors []string, rc Config, workers int) (*Grid
 		cell.Governor = governors[gi]
 		r, err := Run(scs[si], cell)
 		if err != nil {
-			return err
+			r = &Result{
+				Scenario:   scs[si].Name,
+				Governor:   governors[gi],
+				Violations: []string{fmt.Sprintf("error: %v", err)},
+			}
 		}
 		out.Cells[si][gi] = r
 		return nil
@@ -328,6 +437,12 @@ func (g *GridResult) Render() string {
 			status := "pass"
 			if !r.Passed() {
 				status = fmt.Sprintf("FAIL (%d)", len(r.Violations))
+			}
+			if r.Sim == nil {
+				// The cell errored out before producing a result; its
+				// violation carries the error below the table.
+				t.AddRow(r.Scenario, r.Governor, "-", "-", "-", "-", "-", "-", status)
+				continue
 			}
 			t.AddRow(r.Scenario, r.Governor,
 				fmt.Sprintf("%.1f", r.Sim.ExecTimeS),

@@ -1,15 +1,19 @@
 // Package scenario is the online half of "online thermal- and
 // energy-efficiency management": a declarative, deterministic event-timeline
 // engine that drives a simulation through dynamic situations — application
-// arrivals and departures from a FIFO queue (back-to-back and overlapping),
-// ambient-temperature steps and ramps ("the device moves into sunlight"),
-// and mid-run governor/partition/mapping switches — with per-event and
-// end-of-run assertions (e.g. "peak ≤ trip").
+// arrivals with priorities and deadlines (higher-priority arrivals preempt
+// the live job, which later resumes with its remaining work intact),
+// departures that cancel a queued or live job mid-run, ambient-temperature
+// steps and ramps ("the device moves into sunlight"), and mid-run
+// governor/partition/mapping switches — with per-event and end-of-run
+// assertions (e.g. "peak ≤ trip").
 //
 // A Scenario is plain data: build one with the fluent Builder, write it as
-// JSON (Save) or read it back (Load). Run executes a scenario against the
-// sim engine's scheduling hooks; RunGrid fans a scenario × governor matrix
-// out across the bounded worker pool with byte-identical-to-serial output.
+// JSON (Save) or read it back (Load), or compile one from a recorded
+// arrival log (FromTrace — trace-driven replay). Run executes a scenario
+// against the sim engine's scheduling hooks; RunGrid fans a scenario ×
+// governor matrix out across the bounded worker pool with
+// byte-identical-to-serial output.
 //
 // The JSON schema is one object per scenario:
 //
@@ -20,7 +24,9 @@
 //	  "horizon_s": 60,
 //	  "events": [
 //	    {"at_s": 0,  "kind": "arrival", "app": "COVARIANCE", "part": {"Num": 4, "Den": 8}},
+//	    {"at_s": 6,  "kind": "arrival", "app": "MVT", "priority": 2, "deadline_s": 25},
 //	    {"at_s": 12, "kind": "ambient", "to_c": 43, "ramp_s": 5},
+//	    {"at_s": 20, "kind": "departure", "app": "COVARIANCE"},
 //	    {"at_s": 30, "kind": "governor", "governor": "powersave"},
 //	    {"at_s": 40, "kind": "assert", "node": "A15", "max_c": 95}
 //	  ],
@@ -32,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"teem/internal/mapping"
 	"teem/internal/workload"
@@ -42,10 +49,16 @@ type Kind string
 
 // Event kinds.
 const (
-	// KindArrival submits an application to the engine's FIFO queue: it
-	// starts immediately on an idle engine and queues behind running
-	// work otherwise (overlapping arrivals).
+	// KindArrival submits an application to the engine's job queue: it
+	// starts immediately on an idle engine, preempts the live job when
+	// its Priority is strictly higher, and otherwise queues behind its
+	// priority class (equal priorities run FIFO — overlapping arrivals).
 	KindArrival Kind = "arrival"
+	// KindDeparture cancels the named application's oldest still-pending
+	// submission — queued or live — charging only the work already done
+	// (a tenant leaving the system). Departing a job that already
+	// finished is a tolerated no-op.
+	KindDeparture Kind = "departure"
 	// KindAmbient steps (or, with RampS, linearly ramps) the ambient
 	// temperature to ToC.
 	KindAmbient Kind = "ambient"
@@ -67,14 +80,30 @@ type Event struct {
 	// Kind selects the event type.
 	Kind Kind `json:"kind"`
 
-	// App names the arriving application (KindArrival), resolved through
-	// the workload catalog (e.g. "COVARIANCE").
+	// App names the arriving (KindArrival) or departing (KindDeparture)
+	// application, resolved through the workload catalog (e.g.
+	// "COVARIANCE").
 	App string `json:"app,omitempty"`
 	// Part is the work-item split of an arrival or a partition switch.
 	// A nil arrival partition defaults to the scenario mapping's
 	// natural split: 4/8 with CPU and GPU mapped, 8/8 CPU-only, 0/8
 	// GPU-only.
 	Part *mapping.Partition `json:"part,omitempty"`
+	// Priority is the arrival's scheduling priority (KindArrival):
+	// higher runs first and a strictly higher arrival preempts the live
+	// job. The default 0 is the classic FIFO class.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineS, when positive, requires the arriving job to finish
+	// within that many seconds of its arrival; a miss is recorded as a
+	// violation (KindArrival). A job that departs before its deadline
+	// is exempt.
+	DeadlineS float64 `json:"deadline_s,omitempty"`
+	// Job optionally tags a submission so a departure can target that
+	// specific arrival instead of the app's oldest still-pending one
+	// (KindArrival, KindDeparture). FromTrace tags every held record,
+	// so replayed logs with overlapping same-app tenants cancel exactly
+	// the recorded instance.
+	Job string `json:"job,omitempty"`
 
 	// ToC is the ambient target (KindAmbient); RampS, when positive,
 	// spreads the change linearly over that many seconds (discretised
@@ -148,6 +177,8 @@ func (s *Scenario) Validate(extra map[string]GovernorFactory) error {
 		return fmt.Errorf("scenario %s: negative horizon", s.Name)
 	}
 	arrivals := 0
+	arrCount := map[string]int{}
+	depCount := map[string]int{}
 	for i := range s.Events {
 		ev := &s.Events[i]
 		if ev.AtS < 0 {
@@ -163,7 +194,44 @@ func (s *Scenario) Validate(extra map[string]GovernorFactory) error {
 					return fmt.Errorf("scenario %s: event %d: %w", s.Name, i, err)
 				}
 			}
+			if ev.DeadlineS < 0 {
+				return fmt.Errorf("scenario %s: event %d: negative deadline", s.Name, i)
+			}
 			arrivals++
+			arrCount[ev.App]++
+			if ev.Job != "" {
+				arrCount[ev.App+"\x00"+ev.Job]++
+			}
+		case KindDeparture:
+			if ev.App == "" {
+				return fmt.Errorf("scenario %s: event %d: departure without an app", s.Name, i)
+			}
+			// The matching arrival — same app, and same job tag when the
+			// departure carries one — must dispatch before the
+			// departure: strictly earlier in time, or on the same tick
+			// but earlier in the event list (sortedEvents is stable, so
+			// same-time events keep list order at run time).
+			matched := false
+			for j := range s.Events {
+				arr := &s.Events[j]
+				if arr.Kind != KindArrival || arr.App != ev.App {
+					continue
+				}
+				if ev.Job != "" && arr.Job != ev.Job {
+					continue
+				}
+				if arr.AtS < ev.AtS || (arr.AtS == ev.AtS && j < i) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return fmt.Errorf("scenario %s: event %d: departure of %q with no earlier arrival", s.Name, i, ev.App)
+			}
+			depCount[ev.App]++
+			if ev.Job != "" {
+				depCount[ev.App+"\x00"+ev.Job]++
+			}
 		case KindAmbient:
 			if ev.RampS < 0 {
 				return fmt.Errorf("scenario %s: event %d: negative ramp", s.Name, i)
@@ -196,6 +264,19 @@ func (s *Scenario) Validate(extra map[string]GovernorFactory) error {
 	}
 	if arrivals == 0 {
 		return fmt.Errorf("scenario %s: no application arrivals", s.Name)
+	}
+	// Each departure consumes one submission: more departures than
+	// arrivals of an app (or of one tagged instance) can never all
+	// resolve — catch the authoring error statically instead of
+	// flagging the surplus departure as a runtime violation.
+	for key, n := range depCount {
+		if n > arrCount[key] {
+			app := key
+			if k := strings.IndexByte(key, 0); k >= 0 {
+				app = key[:k] + " (job " + key[k+1:] + ")"
+			}
+			return fmt.Errorf("scenario %s: %d departures of %s but only %d arrivals", s.Name, n, app, arrCount[key])
+		}
 	}
 	for i, fc := range s.Final {
 		if fc.Node == "" && fc.PeakMaxC > 0 {
@@ -282,6 +363,31 @@ func (b *Builder) Arrive(tS float64, app string, part mapping.Partition) *Builde
 // split.
 func (b *Builder) ArriveDefault(tS float64, app string) *Builder {
 	b.s.Events = append(b.s.Events, Event{AtS: tS, Kind: KindArrival, App: app})
+	return b
+}
+
+// ArrivePriority submits an application at tS in the given priority class
+// (higher preempts lower; the mapping's natural split).
+func (b *Builder) ArrivePriority(tS float64, app string, priority int) *Builder {
+	b.s.Events = append(b.s.Events, Event{AtS: tS, Kind: KindArrival, App: app, Priority: priority})
+	return b
+}
+
+// ArriveJob is the general arrival: explicit or nil (natural) partition,
+// priority class, and an optional completion deadline in seconds after
+// arrival (0 = none).
+func (b *Builder) ArriveJob(tS float64, app string, part *mapping.Partition, priority int, deadlineS float64) *Builder {
+	b.s.Events = append(b.s.Events, Event{
+		AtS: tS, Kind: KindArrival, App: app,
+		Part: part, Priority: priority, DeadlineS: deadlineS,
+	})
+	return b
+}
+
+// Depart cancels the named application's oldest pending submission at tS
+// — queued or live — charging only the work already done.
+func (b *Builder) Depart(tS float64, app string) *Builder {
+	b.s.Events = append(b.s.Events, Event{AtS: tS, Kind: KindDeparture, App: app})
 	return b
 }
 

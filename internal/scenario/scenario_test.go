@@ -37,6 +37,12 @@ func TestBuilderAndValidation(t *testing.T) {
 		{"assert without node", func() (*Scenario, error) {
 			return New("x").ArriveDefault(0, "COVARIANCE").AssertTempBelow(1, "", 95).Build()
 		}},
+		{"negative deadline", func() (*Scenario, error) {
+			return New("x").ArriveJob(0, "COVARIANCE", nil, 0, -5).Build()
+		}},
+		{"departure without app", func() (*Scenario, error) {
+			return New("x").ArriveDefault(0, "COVARIANCE").Depart(5, "").Build()
+		}},
 	}
 	for _, c := range cases {
 		if _, err := c.build(); err == nil {
@@ -287,6 +293,57 @@ func TestGridDeterminismBothIntegrators(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// Regression: one broken cell must not abort the whole grid. A scenario
+// that validates declaratively but fails at run time (its arrival sends
+// CPU work to a GPU-only mapping) is captured as a per-cell violation;
+// every other cell still runs and reports, and the grid's exit-code
+// signal (Violations) reflects the failure.
+func TestGridSurvivesBrokenCell(t *testing.T) {
+	broken := &Scenario{
+		Name: "broken",
+		Map:  mapping.Mapping{UseGPU: true},
+		Events: []Event{
+			{AtS: 0, Kind: KindArrival, App: "COVARIANCE", Part: &mapping.Partition{Num: 4, Den: 8}},
+		},
+	}
+	if err := broken.Validate(nil); err != nil {
+		t.Fatalf("the broken scenario must pass declarative validation to exercise the run-time path: %v", err)
+	}
+	g, err := RunGrid([]*Scenario{broken, Sunlight()}, []string{"performance"}, quickConfig(), 1)
+	if err != nil {
+		t.Fatalf("RunGrid aborted the whole grid on one broken cell: %v", err)
+	}
+	bad := g.Cell("broken", "performance")
+	if bad == nil {
+		t.Fatal("broken cell missing from the grid")
+	}
+	if bad.Passed() || len(bad.Violations) == 0 {
+		t.Error("broken cell did not record its failure as a violation")
+	}
+	if bad.Sim != nil {
+		t.Error("broken cell should carry no sim result")
+	}
+	ok := g.Cell("sunlight", "performance")
+	if ok == nil || ok.Sim == nil || !ok.Passed() {
+		t.Errorf("healthy cell did not run/report alongside the broken one: %+v", ok)
+	}
+	if g.Violations() == 0 {
+		t.Error("grid Violations() = 0 with a broken cell — the CI gate would green-light it")
+	}
+	out := g.Render()
+	if !strings.Contains(out, "broken") || !strings.Contains(out, "sunlight") {
+		t.Errorf("Render dropped a row:\n%s", out)
+	}
+	// The parallel path must capture per-cell errors identically.
+	gp, err := RunGrid([]*Scenario{broken, Sunlight()}, []string{"performance"}, quickConfig(), 8)
+	if err != nil {
+		t.Fatalf("parallel RunGrid aborted on one broken cell: %v", err)
+	}
+	if gp.Render() != out {
+		t.Error("parallel grid render differs from serial with a broken cell")
 	}
 }
 

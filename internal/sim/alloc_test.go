@@ -62,9 +62,15 @@ func TestTickZeroAllocsBetweenEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A queued arrival and far-future events: the hot loop must not pay
-	// for either until they come due.
+	// A queued arrival, a suspended preemptee and far-future events: the
+	// hot loop must not pay for any of them until they come due.
 	if err := e.EnqueueApp(workload.Syrk(), mapping.Partition{Num: 4, Den: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// A high-priority arrival preempts the live COVARIANCE, parking it in
+	// the queue: the steady tick with a suspended job pending must stay
+	// allocation-free too.
+	if _, err := e.EnqueueAppPriority(workload.Gemm(), mapping.Partition{Num: 4, Den: 8}, 2); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.ScheduleAt(500, func(e *Engine) error { e.SetAmbientC(43); return nil }); err != nil {

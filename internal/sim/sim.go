@@ -16,10 +16,14 @@
 //
 // Beyond single static runs the engine exposes the hooks the scenario
 // subsystem (internal/scenario) is built on: callbacks scheduled at tick
-// granularity (ScheduleAt), a FIFO workload queue for app arrivals on top
-// of the remaining-work machinery (EnqueueApp), and mid-run switches of
-// governor, mapping, partition and ambient temperature (SetGovernor,
-// SetMapping, SetPartition, SetAmbientC). Event dispatch costs a single
+// granularity (ScheduleAt), a priority-aware preemptive job queue on top
+// of the remaining-work machinery (EnqueueApp, EnqueueAppPriority,
+// CancelJob), and mid-run switches of governor, mapping, partition and
+// ambient temperature (SetGovernor, SetMapping, SetPartition,
+// SetAmbientC). A higher-priority arrival suspends the live job — its
+// remaining CPU/GPU work-items are parked in the queue and resume intact
+// once the preemptor drains — and a cancellation drops a queued or live
+// job, charging only the work already done. Event dispatch costs a single
 // integer compare on ticks with no due event, so the steady-state tick
 // between events stays allocation-free.
 package sim
@@ -139,9 +143,24 @@ type Config struct {
 
 // JobFinish records the completion of one enqueued application.
 type JobFinish struct {
+	// ID is the engine-assigned job handle (EnqueueAppPriority).
+	ID int
 	// App is the application name; AtS the simulated completion time.
 	App string
 	AtS float64
+}
+
+// JobCancel records a job dropped by CancelJob before it finished.
+type JobCancel struct {
+	// ID is the cancelled job's handle; App its application name.
+	ID  int
+	App string
+	// AtS is the simulated cancellation time.
+	AtS float64
+	// DoneFrac is the fraction of the job's work-items that had executed
+	// when it was dropped (0 for a never-started queued job) — the work
+	// the run was actually charged for.
+	DoneFrac float64
 }
 
 // Result summarises a run.
@@ -149,8 +168,10 @@ type Result struct {
 	// Completed reports that every submitted job finished and every
 	// scheduled event fired (false when MaxTimeS elapsed first).
 	Completed bool
-	// ExecTimeS is the time the last work-item completed (Eq. 3's ET for
-	// a single-app run). Aborted runs report the elapsed time instead.
+	// ExecTimeS is the time workload execution last stopped: the final
+	// work-item completion (Eq. 3's ET for a single-app run) or a later
+	// live-job cancellation. Drained runs with no workload activity
+	// report the simulated horizon; aborted runs the elapsed time.
 	ExecTimeS float64
 	// EnergyJ is the meter-accumulated board energy; AvgPowerW the
 	// meter average.
@@ -173,6 +194,11 @@ type Result struct {
 	// JobFinishes lists every completed job in completion order
 	// (multi-app scenario runs; a classic single-app run has one entry).
 	JobFinishes []JobFinish
+	// JobCancels lists every job dropped mid-run by CancelJob, in
+	// cancellation order. A run with cancellations still reports
+	// Completed=true once the surviving work drains: the departed jobs
+	// left the system, they did not fail it.
+	JobCancels []JobCancel
 	// Trace is the recorded time series.
 	Trace *trace.Trace
 }
@@ -222,11 +248,24 @@ type Engine struct {
 
 	// live workload state: app is the job currently executing (nil when
 	// idle), curMap/curPart the in-effect mapping and partition — all
-	// three switchable mid-run by scenario events.
-	app     *workload.App
-	curMap  mapping.Mapping
-	curPart mapping.Partition
-	queue   []pendingJob
+	// three switchable mid-run by scenario events. curJobID/curPrio/
+	// curSeq identify the live job for cancellation and preemption.
+	app      *workload.App
+	curMap   mapping.Mapping
+	curPart  mapping.Partition
+	curJobID int
+	curPrio  int
+	curSeq   int
+
+	// queue holds submitted-but-not-live jobs (fresh arrivals and
+	// suspended preemptees) ordered by (priority desc, seq asc); qHead
+	// indexes the next job so pops are O(1), with popped slots cleared so
+	// finished *workload.App values are not pinned for the rest of the
+	// run. nextJobID/nextSeq mint job handles and tiebreak ordering.
+	queue     []pendingJob
+	qHead     int
+	nextJobID int
+	nextSeq   int
 
 	// scheduled events, sorted by tick (same-tick events keep
 	// registration order); evIdx points at the next undelivered one, so
@@ -236,7 +275,9 @@ type Engine struct {
 
 	running        bool
 	jobFinishes    []JobFinish
+	jobCancels     []JobCancel
 	lastFinishS    float64
+	lastCancelS    float64 // latest live-job cancellation (work ran until then)
 	remCPU, remGPU float64 // remaining work-items
 	timeTicks      int
 	transitions    int
@@ -247,10 +288,21 @@ type Engine struct {
 	peakTemps      []float64
 }
 
-// pendingJob is one queued application arrival.
+// pendingJob is one queued job: a fresh arrival awaiting its first start,
+// or a preempted job suspended with its remaining work. prio orders the
+// queue (higher runs first); seq tiebreaks within a priority class, so
+// equal-priority jobs run FIFO and a preempted job (which keeps its
+// original, smaller seq) resumes ahead of later arrivals of its class.
 type pendingJob struct {
+	id   int
 	app  *workload.App
 	part mapping.Partition
+	prio int
+	seq  int
+	// suspended marks a preempted job: remCPU/remGPU carry its remaining
+	// work-items, which resume intact instead of re-splitting part.
+	suspended      bool
+	remCPU, remGPU float64
 }
 
 // schedEvent is one scheduled callback.
@@ -410,6 +462,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.tr = trace.NewWithCap(nodeNames, clusterNames, int(cfg.MaxTimeS/cfg.RecordPeriodS)+2)
 
+	e.nextJobID = 1
 	if cfg.App != nil {
 		total := float64(cfg.App.WorkItems)
 		cpuItems := float64(cfg.Part.CPUItems(cfg.App.WorkItems))
@@ -421,6 +474,11 @@ func New(cfg Config) (*Engine, error) {
 		if e.remGPU > 0 && !cfg.Map.UseGPU {
 			return nil, errors.New("sim: partition sends work to the GPU but the mapping does not use it")
 		}
+		// The configured app is job 1 at the default priority.
+		e.curJobID = e.nextJobID
+		e.nextJobID++
+		e.curSeq = e.nextSeq
+		e.nextSeq++
 	}
 	return e, nil
 }
@@ -593,46 +651,200 @@ func (e *Engine) ScheduleAt(tS float64, fn func(*Engine) error) error {
 	return nil
 }
 
-// EnqueueApp submits an application with its work-item partition: it
-// starts immediately when the engine is idle, otherwise it queues FIFO
-// behind the running and already queued jobs (a queued job starts on the
-// tick after its predecessor completes). Feasibility against the live
-// mapping is checked when the job starts, since the mapping may change in
-// between.
+// EnqueueApp submits an application at the default priority 0 — the
+// classic FIFO arrival. See EnqueueAppPriority for the full contract.
 func (e *Engine) EnqueueApp(app *workload.App, part mapping.Partition) error {
-	if app == nil {
-		return errors.New("sim: EnqueueApp needs an app")
-	}
-	if err := app.Validate(); err != nil {
-		return err
-	}
-	if err := part.Validate(); err != nil {
-		return err
-	}
-	if e.app != nil {
-		e.queue = append(e.queue, pendingJob{app: app, part: part})
-		return nil
-	}
-	return e.startJob(app, part)
+	_, err := e.EnqueueAppPriority(app, part, 0)
+	return err
 }
 
-// QueuedJobs returns the number of submitted-but-not-started jobs.
-func (e *Engine) QueuedJobs() int { return len(e.queue) }
+// EnqueueAppPriority submits an application with its work-item partition
+// and a scheduling priority (higher runs first; equal priorities run FIFO
+// in arrival order). The returned id is the job's handle for CancelJob
+// and its tag in Result.JobFinishes/JobCancels.
+//
+// An idle engine starts the job immediately. An arrival with a strictly
+// higher priority than the live job preempts it: the live job's remaining
+// CPU/GPU work-items are suspended into the queue and resume — work
+// intact — once every higher-priority job has drained. Any other arrival
+// queues behind its priority class. Feasibility against the live mapping
+// is checked when a job starts or resumes, since the mapping may change
+// in between.
+func (e *Engine) EnqueueAppPriority(app *workload.App, part mapping.Partition, priority int) (int, error) {
+	if app == nil {
+		return 0, errors.New("sim: EnqueueApp needs an app")
+	}
+	if err := app.Validate(); err != nil {
+		return 0, err
+	}
+	if err := part.Validate(); err != nil {
+		return 0, err
+	}
+	j := pendingJob{id: e.nextJobID, app: app, part: part, prio: priority, seq: e.nextSeq}
+	e.nextJobID++
+	e.nextSeq++
+	if e.app == nil {
+		if err := e.startJob(j); err != nil {
+			return 0, err
+		}
+		return j.id, nil
+	}
+	if priority > e.curPrio {
+		// Preemption: park the live job with its remaining work, then
+		// start the arrival. Suspension cannot fail; the start can (an
+		// infeasible partition), in which case the preemptee resumes on
+		// the spot and the error surfaces to the caller.
+		e.suspendLive()
+		if err := e.startJob(j); err != nil {
+			resumeErr := e.startJob(e.popNext())
+			if resumeErr != nil {
+				return 0, fmt.Errorf("sim: %w (and resuming the preempted job failed: %v)", err, resumeErr)
+			}
+			return 0, err
+		}
+		return j.id, nil
+	}
+	e.insertQueued(j)
+	return j.id, nil
+}
 
-// startJob makes app the live workload, splitting its work-items by part.
-func (e *Engine) startJob(app *workload.App, part mapping.Partition) error {
-	total := float64(app.WorkItems)
-	cpuItems := float64(part.CPUItems(app.WorkItems))
-	if cpuItems > 0 && e.curMap.CPUCores() == 0 {
-		return fmt.Errorf("sim: job %s sends work to the CPU but the mapping uses no CPU cores", app.Name)
+// QueuedJobs returns the number of submitted-but-not-live jobs (fresh
+// arrivals plus suspended preemptees).
+func (e *Engine) QueuedJobs() int { return len(e.queue) - e.qHead }
+
+// insertQueued places j by (priority desc, seq asc) into the pending tail.
+func (e *Engine) insertQueued(j pendingJob) {
+	pos := len(e.queue)
+	for pos > e.qHead {
+		prev := &e.queue[pos-1]
+		if prev.prio > j.prio || (prev.prio == j.prio && prev.seq < j.seq) {
+			break
+		}
+		pos--
 	}
-	if total-cpuItems > 0 && !e.curMap.UseGPU {
-		return fmt.Errorf("sim: job %s sends work to the GPU but the mapping does not use it", app.Name)
+	e.queue = append(e.queue, pendingJob{})
+	copy(e.queue[pos+1:], e.queue[pos:])
+	e.queue[pos] = j
+}
+
+// popNext removes and returns the highest-priority pending job. The
+// vacated slot is cleared so the backing array does not pin the job's
+// *workload.App for the rest of the run; a drained queue resets to offset
+// zero so the backing array is reused instead of growing rightwards.
+func (e *Engine) popNext() pendingJob {
+	j := e.queue[e.qHead]
+	e.queue[e.qHead] = pendingJob{}
+	e.qHead++
+	if e.qHead == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.qHead = 0
 	}
-	e.app = app
-	e.curPart = part
-	e.remCPU = cpuItems
-	e.remGPU = total - cpuItems
+	return j
+}
+
+// suspendLive parks the live job — remaining work, partition, identity —
+// in the queue and leaves the engine idle. Its original seq keeps it
+// ahead of later arrivals in its priority class when it resumes.
+func (e *Engine) suspendLive() {
+	e.insertQueued(pendingJob{
+		id: e.curJobID, app: e.app, part: e.curPart,
+		prio: e.curPrio, seq: e.curSeq,
+		suspended: true, remCPU: e.remCPU, remGPU: e.remGPU,
+	})
+	e.app = nil
+	e.remCPU, e.remGPU = 0, 0
+	e.ratesDirty = true
+}
+
+// CancelJob drops a job mid-run — the departure half of an online
+// workload. A queued job (fresh or suspended) is removed from the queue;
+// the live job stops on the spot, its next-highest-priority successor
+// starting immediately, so only the work already done is charged. The
+// drop is recorded in Result.JobCancels. Cancelling a job that already
+// finished (or was already cancelled) returns ErrJobNotActive; an id the
+// engine never issued is an error.
+func (e *Engine) CancelJob(id int) error {
+	if id <= 0 || id >= e.nextJobID {
+		return fmt.Errorf("sim: unknown job id %d", id)
+	}
+	if e.app != nil && id == e.curJobID {
+		e.jobCancels = append(e.jobCancels, JobCancel{
+			ID: id, App: e.app.Name, AtS: e.TimeS(), DoneFrac: e.liveDoneFrac(),
+		})
+		// The live job executed until this moment: its cancellation is
+		// workload activity ExecTimeS must cover (a queued cancel is
+		// not — the job never ran).
+		if t := e.TimeS(); t > e.lastCancelS {
+			e.lastCancelS = t
+		}
+		e.app = nil
+		e.remCPU, e.remGPU = 0, 0
+		e.ratesDirty = true
+		e.rebuildLoads()
+		if e.qHead < len(e.queue) {
+			return e.startJob(e.popNext())
+		}
+		return nil
+	}
+	for k := e.qHead; k < len(e.queue); k++ {
+		if e.queue[k].id != id {
+			continue
+		}
+		j := e.queue[k]
+		done := 0.0
+		if j.suspended {
+			done = doneFrac(j.app, j.remCPU, j.remGPU)
+		}
+		e.jobCancels = append(e.jobCancels, JobCancel{
+			ID: id, App: j.app.Name, AtS: e.TimeS(), DoneFrac: done,
+		})
+		copy(e.queue[k:], e.queue[k+1:])
+		e.queue[len(e.queue)-1] = pendingJob{}
+		e.queue = e.queue[:len(e.queue)-1]
+		if e.qHead == len(e.queue) {
+			e.queue = e.queue[:0]
+			e.qHead = 0
+		}
+		return nil
+	}
+	return ErrJobNotActive
+}
+
+// ErrJobNotActive reports a CancelJob target that already finished or was
+// already cancelled — a no-op departure, not a configuration error.
+var ErrJobNotActive = errors.New("sim: job is not active")
+
+// liveDoneFrac is the executed fraction of the live job's work-items.
+func (e *Engine) liveDoneFrac() float64 { return doneFrac(e.app, e.remCPU, e.remGPU) }
+
+// doneFrac is the executed fraction of a job given its remaining work.
+func doneFrac(app *workload.App, remCPU, remGPU float64) float64 {
+	if app == nil || app.WorkItems <= 0 {
+		return 0
+	}
+	return 1 - (remCPU+remGPU)/float64(app.WorkItems)
+}
+
+// startJob makes j the live workload: a fresh job's work-items are split
+// by its partition, a suspended one resumes its remaining work intact.
+func (e *Engine) startJob(j pendingJob) error {
+	remCPU, remGPU := j.remCPU, j.remGPU
+	if !j.suspended {
+		total := float64(j.app.WorkItems)
+		remCPU = float64(j.part.CPUItems(j.app.WorkItems))
+		remGPU = total - remCPU
+	}
+	if remCPU > 0 && e.curMap.CPUCores() == 0 {
+		return fmt.Errorf("sim: job %s sends work to the CPU but the mapping uses no CPU cores", j.app.Name)
+	}
+	if remGPU > 0 && !e.curMap.UseGPU {
+		return fmt.Errorf("sim: job %s sends work to the GPU but the mapping does not use it", j.app.Name)
+	}
+	e.app = j.app
+	e.curPart = j.part
+	e.curJobID, e.curPrio, e.curSeq = j.id, j.prio, j.seq
+	e.remCPU = remCPU
+	e.remGPU = remGPU
 	e.ratesDirty = true
 	e.rebuildLoads()
 	// Prime utilisation with the pending load (mapped clusters only), so
@@ -789,28 +1001,39 @@ func (e *Engine) Run() (*Result, error) {
 		}
 		if finishedAt >= 0 {
 			// The live job completed inside this tick; the next
-			// queued arrival starts on the following tick.
+			// pending job (highest priority first) starts on the
+			// following tick.
 			e.lastFinishS = float64(e.timeTicks)*dt + finishedAt
-			e.jobFinishes = append(e.jobFinishes, JobFinish{App: e.app.Name, AtS: e.lastFinishS})
+			e.jobFinishes = append(e.jobFinishes, JobFinish{ID: e.curJobID, App: e.app.Name, AtS: e.lastFinishS})
 			e.app = nil
 			e.ratesDirty = true
 			e.rebuildLoads()
-			if len(e.queue) > 0 {
-				j := e.queue[0]
-				e.queue = e.queue[1:]
-				if err := e.startJob(j.app, j.part); err != nil {
+			if e.QueuedJobs() > 0 {
+				if err := e.startJob(e.popNext()); err != nil {
 					return nil, err
 				}
 			}
 		}
-		if e.app == nil && len(e.queue) == 0 && e.evIdx >= len(e.events) && e.timeTicks+1 >= minTicks {
+		if e.app == nil && e.QueuedJobs() == 0 && e.evIdx >= len(e.events) && e.timeTicks+1 >= minTicks {
 			e.timeTicks++
 			break
 		}
 	}
-	completed := e.app == nil && len(e.queue) == 0 && e.evIdx >= len(e.events)
+	completed := e.app == nil && e.QueuedJobs() == 0 && e.evIdx >= len(e.events)
+	// ExecTimeS is the time workload execution last stopped: the final
+	// job finish, or a later live-job cancellation (the engine executed
+	// — and charged energy for — that job's work until the drop).
 	execTime := e.lastFinishS
+	if e.lastCancelS > execTime {
+		execTime = e.lastCancelS
+	}
 	if !completed {
+		execTime = float64(e.timeTicks) * dt
+	} else if execTime == 0 && len(e.jobFinishes) == 0 {
+		// A drained run with no workload activity at all — fully idle
+		// under MinTimeS — has no "last stop" to report; its execution
+		// time is the simulated horizon, not the zero value of the
+		// bookkeeping.
 		execTime = float64(e.timeTicks) * dt
 	}
 	// Final trace sample so metrics cover the full run. A drained engine
@@ -843,6 +1066,7 @@ func (e *Engine) Run() (*Result, error) {
 		FreqTransitions: e.transitions,
 		ThrottleEvents:  e.throttleEvents,
 		JobFinishes:     e.jobFinishes,
+		JobCancels:      e.jobCancels,
 		Trace:           e.tr,
 	}
 	return res, nil

@@ -21,7 +21,7 @@ type ThermalCycle struct {
 // peak/valley extraction with the given hysteresis: only swings of at
 // least minAmplitudeC count (smaller wiggle is sensor noise, not stress).
 func (t *Trace) ThermalCycles(i int, minAmplitudeC float64) []ThermalCycle {
-	if t.Len() < 3 || minAmplitudeC <= 0 {
+	if !t.validNode(i) || t.Len() < 3 || minAmplitudeC <= 0 {
 		return nil
 	}
 	temps := t.Temps(i)
@@ -98,9 +98,9 @@ func (t *Trace) MeanCycleAmplitude(i int, minAmplitudeC float64) float64 {
 
 // SpatialGradient returns the time-averaged absolute temperature
 // difference between two nodes — the on-die gradient that drives
-// thermo-mechanical stress.
+// thermo-mechanical stress (0 when either index is out of range).
 func (t *Trace) SpatialGradient(i, j int) float64 {
-	if t.Len() == 0 {
+	if !t.validNode(i) || !t.validNode(j) || t.Len() == 0 {
 		return 0
 	}
 	s := 0.0
@@ -111,8 +111,11 @@ func (t *Trace) SpatialGradient(i, j int) float64 {
 }
 
 // MaxSpatialGradient returns the largest instantaneous gradient between
-// two nodes.
+// two nodes (0 when either index is out of range).
 func (t *Trace) MaxSpatialGradient(i, j int) float64 {
+	if !t.validNode(i) || !t.validNode(j) {
+		return 0
+	}
 	m := 0.0
 	for _, smp := range t.Samples {
 		if d := math.Abs(smp.TempsC[i] - smp.TempsC[j]); d > m {

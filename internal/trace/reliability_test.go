@@ -99,6 +99,60 @@ func TestSpatialGradient(t *testing.T) {
 	}
 }
 
+// Regression: every metric taking a node or cluster index must tolerate
+// the -1 that NodeIndex/ClusterIndex return for an unknown name — and any
+// other out-of-range index — returning zero values instead of panicking
+// with index-out-of-range on the first sample.
+func TestMetricsUnknownNodeIndex(t *testing.T) {
+	tr := sawtooth(t, 90, 95, 2)
+	bad := tr.NodeIndex("no-such-node")
+	if bad != -1 {
+		t.Fatalf("NodeIndex on an unknown node = %d, want -1", bad)
+	}
+	for _, idx := range []int{bad, len(tr.NodeNames)} {
+		if got := tr.SpatialGradient(idx, 0); got != 0 {
+			t.Errorf("SpatialGradient(%d, 0) = %g, want 0", idx, got)
+		}
+		if got := tr.SpatialGradient(0, idx); got != 0 {
+			t.Errorf("SpatialGradient(0, %d) = %g, want 0", idx, got)
+		}
+		if got := tr.MaxSpatialGradient(idx, 0); got != 0 {
+			t.Errorf("MaxSpatialGradient(%d, 0) = %g, want 0", idx, got)
+		}
+		if got := tr.ThermalCycles(idx, 2); got != nil {
+			t.Errorf("ThermalCycles(%d) = %v, want nil", idx, got)
+		}
+		if got := tr.CycleCount(idx, 2); got != 0 {
+			t.Errorf("CycleCount(%d) = %d, want 0", idx, got)
+		}
+		if got := tr.Temps(idx); got != nil {
+			t.Errorf("Temps(%d) = %v, want nil", idx, got)
+		}
+		if got := tr.PeakTemp(idx); got != 0 {
+			t.Errorf("PeakTemp(%d) = %g, want 0", idx, got)
+		}
+		if got := tr.AvgTemp(idx); got != 0 {
+			t.Errorf("AvgTemp(%d) = %g, want 0", idx, got)
+		}
+		if got := tr.TempVariance(idx); got != 0 {
+			t.Errorf("TempVariance(%d) = %g, want 0", idx, got)
+		}
+		if got := tr.TempGradient(idx); got != 0 {
+			t.Errorf("TempGradient(%d) = %g, want 0", idx, got)
+		}
+	}
+	if badC := tr.ClusterIndex("no-such-cluster"); badC != -1 {
+		t.Fatalf("ClusterIndex on an unknown cluster = %d, want -1", badC)
+	} else {
+		if got := tr.Freqs(badC); got != nil {
+			t.Errorf("Freqs(-1) = %v, want nil", got)
+		}
+		if got := tr.AvgFreqMHz(badC); got != 0 {
+			t.Errorf("AvgFreqMHz(-1) = %g, want 0", got)
+		}
+	}
+}
+
 // The sim-level consequence: TEEM produces far fewer deep thermal cycles
 // than the ondemand sawtooth; verified at the trace level with synthetic
 // shapes here (the experiments package covers the real runs).

@@ -183,8 +183,20 @@ func (t *Trace) ClusterIndex(name string) int {
 	return -1
 }
 
-// Temps returns the temperature series of node index i.
+// validNode reports whether i addresses a recorded node series. Metrics
+// guard with it so the -1 of NodeIndex on an unknown name yields zero
+// values instead of an index-out-of-range panic.
+func (t *Trace) validNode(i int) bool { return i >= 0 && i < len(t.NodeNames) }
+
+// validCluster is validNode for the frequency/utilisation series.
+func (t *Trace) validCluster(i int) bool { return i >= 0 && i < len(t.ClusterNames) }
+
+// Temps returns the temperature series of node index i (nil for an
+// out-of-range index, e.g. the -1 of an unknown NodeIndex lookup).
 func (t *Trace) Temps(i int) []float64 {
+	if !t.validNode(i) {
+		return nil
+	}
 	out := make([]float64, len(t.Samples))
 	for k, s := range t.Samples {
 		out[k] = s.TempsC[i]
@@ -192,8 +204,12 @@ func (t *Trace) Temps(i int) []float64 {
 	return out
 }
 
-// Freqs returns the frequency series of cluster index i.
+// Freqs returns the frequency series of cluster index i (nil for an
+// out-of-range index).
 func (t *Trace) Freqs(i int) []float64 {
+	if !t.validCluster(i) {
+		return nil
+	}
 	out := make([]float64, len(t.Samples))
 	for k, s := range t.Samples {
 		out[k] = float64(s.FreqsMHz[i])
@@ -220,9 +236,10 @@ func (t *Trace) EnergyJ() float64 {
 	return e
 }
 
-// AvgTemp returns the time-weighted mean temperature of node i.
+// AvgTemp returns the time-weighted mean temperature of node i (0 for an
+// out-of-range index).
 func (t *Trace) AvgTemp(i int) float64 {
-	if len(t.Samples) == 0 {
+	if !t.validNode(i) || len(t.Samples) == 0 {
 		return 0
 	}
 	if len(t.Samples) == 1 {
@@ -240,8 +257,12 @@ func (t *Trace) AvgTemp(i int) float64 {
 	return area / d
 }
 
-// PeakTemp returns the maximum temperature of node i.
+// PeakTemp returns the maximum temperature of node i (0 for an
+// out-of-range index or an empty trace).
 func (t *Trace) PeakTemp(i int) float64 {
+	if !t.validNode(i) {
+		return 0
+	}
 	peak := math.Inf(-1)
 	for _, s := range t.Samples {
 		if s.TempsC[i] > peak {
@@ -261,9 +282,10 @@ func (t *Trace) TempVariance(i int) float64 {
 }
 
 // TempGradient returns the mean absolute temperature slope |dT/dt| of node
-// i in °C/s — an alternative thermal-cycling metric.
+// i in °C/s — an alternative thermal-cycling metric (0 for an
+// out-of-range index).
 func (t *Trace) TempGradient(i int) float64 {
-	if len(t.Samples) < 2 {
+	if !t.validNode(i) || len(t.Samples) < 2 {
 		return 0
 	}
 	sum, n := 0.0, 0
@@ -281,9 +303,10 @@ func (t *Trace) TempGradient(i int) float64 {
 	return sum / float64(n)
 }
 
-// AvgFreqMHz returns the time-weighted mean frequency of cluster i.
+// AvgFreqMHz returns the time-weighted mean frequency of cluster i (0 for
+// an out-of-range index).
 func (t *Trace) AvgFreqMHz(i int) float64 {
-	if len(t.Samples) == 0 {
+	if !t.validCluster(i) || len(t.Samples) == 0 {
 		return 0
 	}
 	if len(t.Samples) == 1 {

@@ -249,9 +249,11 @@ func RunCampaign(cc CampaignConfig, jobs []Job) (*CampaignResult, error) {
 // --- scenarios (internal/scenario) --------------------------------------------
 
 // Scenario is a declarative dynamic-workload description: application
-// arrivals from a FIFO queue, ambient steps and ramps, mid-run governor /
-// partition / mapping switches, and assertions — the online situations an
-// adaptive manager must survive.
+// arrivals with priorities and deadlines (a higher-priority arrival
+// preempts the live job, which resumes with its remaining work intact),
+// departures that cancel a queued or live job, ambient steps and ramps,
+// mid-run governor / partition / mapping switches, and assertions — the
+// online situations an adaptive manager must survive.
 type Scenario = scenario.Scenario
 
 // ScenarioEvent is one timeline entry of a Scenario.
@@ -274,8 +276,22 @@ type (
 // GovernorFactory builds a fresh governor per scenario run.
 type GovernorFactory = scenario.GovernorFactory
 
-// JobFinish records one application completion inside a run.
-type JobFinish = sim.JobFinish
+// JobFinish records one application completion inside a run; JobCancel
+// one job dropped mid-run by a departure (CancelJob), charged only the
+// work it had done.
+type (
+	JobFinish = sim.JobFinish
+	JobCancel = sim.JobCancel
+)
+
+// ArrivalTrace is a recorded arrival log (who arrived when, at what
+// priority, with what deadline, how long the tenant stayed); TraceRecord
+// is one of its entries. CompileArrivalTrace turns one into a Scenario —
+// trace-driven replay.
+type (
+	ArrivalTrace = scenario.ArrivalTrace
+	TraceRecord  = scenario.TraceRecord
+)
 
 // NewScenario starts a scenario builder with the default 2L+4B+GPU
 // mapping.
@@ -296,8 +312,16 @@ func RunScenarioGrid(scs []*Scenario, governors []string, rc ScenarioConfig, wor
 	return scenario.RunGrid(scs, governors, rc, workers)
 }
 
+// LoadArrivalTrace reads a recorded arrival log from JSON.
+func LoadArrivalTrace(r io.Reader) (*ArrivalTrace, error) { return scenario.LoadTrace(r) }
+
+// CompileArrivalTrace compiles a recorded arrival log into a
+// deterministic replay Scenario (arrivals with priorities and deadlines;
+// holds become departures).
+func CompileArrivalTrace(tr *ArrivalTrace) (*Scenario, error) { return scenario.FromTrace(tr) }
+
 // ScenarioPresets returns the built-in scenario corpus (sunlight,
-// rush-hour, core-loss).
+// rush-hour, core-loss, preempt-storm, tenant-churn, replay-sample).
 func ScenarioPresets() []*Scenario { return scenario.Presets() }
 
 // ScenarioGovernors lists the stock governor registry names.
