@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-json scenario-gate ci
+.PHONY: build vet fmt test race bench bench-json scenario-gate serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -32,9 +32,9 @@ bench:
 # BENCH_<date>.json — ns/op, B/op and allocs/op per benchmark. CI uploads
 # it as a non-gating artifact so the perf trajectory is tracked across PRs.
 BENCH_DATE := $(shell date -u +%Y-%m-%d)
-BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioPreempt|BenchmarkScenarioGrid|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto'
+BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioPreempt|BenchmarkScenarioGrid|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto|BenchmarkServiceSubmit|BenchmarkServiceStream'
 bench-json:
-	$(GO) test -run='^$$' -bench=$(BENCH_CORE) -benchmem ./internal/sim ./internal/scenario ./internal/thermal ./internal/power . \
+	$(GO) test -run='^$$' -bench=$(BENCH_CORE) -benchmem ./internal/sim ./internal/scenario ./internal/thermal ./internal/power ./internal/service . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
 
 # Curated scenario-corpus regression gate: every preset (hand-authored
@@ -44,4 +44,12 @@ bench-json:
 scenario-gate:
 	$(GO) run ./cmd/teemscenario -govs ondemand,teem
 
-ci: build vet fmt test race bench scenario-gate
+# Serving-path smoke gate: boot teemd on a random port, hit /healthz,
+# submit a preset scenario, stream its NDJSON telemetry, verify the
+# result is byte-identical to the teemscenario CLI, cancel a long run,
+# drain on SIGTERM — plus the teemd load generator against a live
+# daemon. Runs the process-level tests in cmd/teemd.
+serve-smoke:
+	$(GO) test ./cmd/teemd -run 'TestServeSmoke|TestLoadSubcommand' -count=1 -v
+
+ci: build vet fmt test race bench scenario-gate serve-smoke

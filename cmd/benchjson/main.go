@@ -21,6 +21,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"teem/internal/buildinfo"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -47,7 +49,12 @@ type Snapshot struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default: stdout)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("benchjson"))
+		return
+	}
 
 	snap := Snapshot{
 		Date:      time.Now().UTC().Format("2006-01-02"),

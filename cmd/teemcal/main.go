@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 
+	"teem/internal/buildinfo"
 	"teem/internal/mapping"
 	"teem/internal/power"
 	"teem/internal/report"
@@ -32,8 +33,13 @@ func main() {
 		appCode = flag.String("app", "CV", "application used for the load cases")
 		nBig    = flag.Int("big", 3, "big cores in the load mapping")
 		nLittle = flag.Int("little", 2, "LITTLE cores in the load mapping")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("teemcal"))
+		return
+	}
 
 	plat := soc.Exynos5422()
 	net := thermal.Exynos5422Network()

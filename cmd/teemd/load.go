@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"teem/internal/buildinfo"
+	"teem/internal/scenario"
+	"teem/internal/service"
+)
+
+// runLoad is the teemd load generator: N concurrent clients submit the
+// same preset request (or, with -unique, N distinct inline scenarios),
+// poll their jobs to completion, fetch the rendered results and verify
+// every one is byte-identical to the output the teemscenario CLI code
+// path produces for the same work — the race-cleanliness and determinism
+// demonstration for a live daemon. Exit status is non-zero on any
+// mismatch or failed request.
+func runLoad(args []string) {
+	fs := flag.NewFlagSet("teemd load", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8080", "base URL of the teemd under load")
+		clients = fs.Int("clients", 64, "concurrent clients")
+		reqs    = fs.Int("requests", 1, "requests per client")
+		preset  = fs.String("preset", "sunlight", "preset scenario every client submits")
+		govs    = fs.String("govs", "ondemand", "comma-separated governors")
+		unique  = fs.Bool("unique", false, "give every client a distinct inline scenario (defeats the request cache)")
+		version = fs.Bool("version", false, "print version and exit")
+	)
+	_ = fs.Parse(args)
+	if *version {
+		fmt.Println(buildinfo.String("teemd"))
+		return
+	}
+
+	var governors []string
+	for _, g := range strings.Split(*govs, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			governors = append(governors, g)
+		}
+	}
+
+	// The expected bytes come from the same code path the teemscenario
+	// CLI renders: a local serial grid run of the identical work.
+	expect := func(sc *scenario.Scenario) string {
+		grid, err := scenario.RunGrid([]*scenario.Scenario{sc}, governors, scenario.Config{}, 1)
+		if err != nil {
+			log.Fatalf("computing expected output: %v", err)
+		}
+		return grid.Render()
+	}
+	presetSc := scenario.PresetByName(*preset)
+	if presetSc == nil {
+		log.Fatalf("unknown preset %q", *preset)
+	}
+	expected := expect(presetSc)
+
+	type outcome struct {
+		latency time.Duration
+		cached  bool
+		err     error
+	}
+	results := make(chan outcome, *clients**reqs)
+	for c := 0; c < *clients; c++ {
+		go func(c int) {
+			client := &http.Client{Timeout: 5 * time.Minute}
+			for r := 0; r < *reqs; r++ {
+				results <- oneRequest(client, *addr, c, *preset, governors, *unique, expect, expected)
+			}
+		}(c)
+	}
+
+	var latencies []time.Duration
+	ok, cachedN, failed := 0, 0, 0
+	start := time.Now()
+	for i := 0; i < *clients**reqs; i++ {
+		o := <-results
+		if o.err != nil {
+			failed++
+			log.Printf("request failed: %v", o.err)
+			continue
+		}
+		ok++
+		if o.cached {
+			cachedN++
+		}
+		latencies = append(latencies, o.latency)
+	}
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return latencies[int(p*float64(len(latencies)-1))]
+	}
+	fmt.Printf("teemd load: %d clients × %d requests against %s\n", *clients, *reqs, *addr)
+	fmt.Printf("  ok %d, cached %d, failed %d, wall %s\n", ok, cachedN, failed, wall.Round(time.Millisecond))
+	fmt.Printf("  latency p50 %s  p99 %s  max %s\n",
+		pct(0.50).Round(time.Millisecond), pct(0.99).Round(time.Millisecond), pct(1.0).Round(time.Millisecond))
+	if failed > 0 {
+		log.Fatalf("%d request(s) failed or returned non-CLI-identical bytes", failed)
+	}
+	fmt.Println("  every result byte-identical to the CLI render ✔")
+}
+
+// oneRequest submits, polls to terminal, fetches the result and compares
+// it against the CLI-equivalent bytes.
+func oneRequest(client *http.Client, addr string, c int, preset string, governors []string,
+	unique bool, expect func(*scenario.Scenario) string, expected string) (o struct {
+	latency time.Duration
+	cached  bool
+	err     error
+}) {
+	req := service.JobRequest{Preset: preset, Governors: governors}
+	want := expected
+	if unique {
+		sc, err := scenario.New(fmt.Sprintf("load-%d", c)).
+			ArriveDefault(0, "MVT").
+			Horizon(5).
+			Build()
+		if err != nil {
+			o.err = err
+			return o
+		}
+		var b bytes.Buffer
+		if err := sc.Save(&b); err != nil {
+			o.err = err
+			return o
+		}
+		req = service.JobRequest{Scenario: b.Bytes(), Governors: governors}
+		want = expect(sc)
+	}
+
+	raw, err := json.Marshal(req)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		o.err = err
+		return o
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		o.err = err
+		return o
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		o.err = fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, body)
+		return o
+	}
+	var js service.JobStatus
+	if err := json.Unmarshal(body, &js); err != nil {
+		o.err = err
+		return o
+	}
+	o.cached = js.Cached
+
+	for !js.Terminal() {
+		time.Sleep(5 * time.Millisecond)
+		sresp, err := client.Get(addr + "/v1/jobs/" + js.ID)
+		if err != nil {
+			o.err = err
+			return o
+		}
+		body, err := io.ReadAll(sresp.Body)
+		sresp.Body.Close()
+		if err != nil {
+			o.err = err
+			return o
+		}
+		if err := json.Unmarshal(body, &js); err != nil {
+			o.err = err
+			return o
+		}
+	}
+	if js.Status != service.StatusDone {
+		o.err = fmt.Errorf("job %s ended %s: %s", js.ID, js.Status, js.Error)
+		return o
+	}
+	rresp, err := client.Get(addr + "/v1/jobs/" + js.ID + "/result")
+	if err != nil {
+		o.err = err
+		return o
+	}
+	text, err := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if err != nil {
+		o.err = err
+		return o
+	}
+	if string(text) != want {
+		o.err = fmt.Errorf("job %s result differs from the CLI render (%d vs %d bytes)", js.ID, len(text), len(want))
+		return o
+	}
+	o.latency = time.Since(start)
+	return o
+}

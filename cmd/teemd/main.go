@@ -1,0 +1,113 @@
+// Command teemd is the TEEM simulation daemon: a long-running HTTP/JSON
+// service that hosts simulations as managed jobs. Clients submit
+// scenarios (inline JSON, preset names, or arrival-trace replays),
+// scenario × governor grids and Fig. 5-style experiments; poll job
+// status; stream live NDJSON telemetry (temperature / frequency / power
+// samples as the engine ticks); and cancel in-flight work, which aborts
+// within one simulation tick. Identical requests are collapsed by a
+// request-hash single-flight cache, operational metrics are exported via
+// /metrics and expvar (/debug/vars), and SIGTERM drains gracefully:
+// submissions are rejected, in-flight jobs get -drain-timeout to finish,
+// stragglers are cancelled.
+//
+// Usage:
+//
+//	teemd [serve] -addr :8080 -workers 4 -queue 64
+//	teemd load -addr http://127.0.0.1:8080 -clients 64
+//
+// The API, with curl:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"preset":"sunlight","governors":["ondemand","teem"]}'
+//	curl -s localhost:8080/v1/jobs/j1
+//	curl -sN localhost:8080/v1/jobs/j1/stream        # NDJSON telemetry
+//	curl -s localhost:8080/v1/jobs/j1/result         # byte-identical to teemscenario
+//	curl -s -X POST localhost:8080/v1/jobs/j1/cancel
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"teem/internal/buildinfo"
+	"teem/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("teemd: ")
+
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "load" {
+		runLoad(args[1:])
+		return
+	}
+	if len(args) > 0 && args[0] == "serve" {
+		args = args[1:]
+	}
+	runServe(args)
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("teemd serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		workers = fs.Int("workers", 0, "concurrently executing jobs (0 = one per CPU)")
+		queue   = fs.Int("queue", 64, "queued-job admission bound (full queue answers 503)")
+		keep    = fs.Int("keep", 1024, "finished jobs retained for status/result queries")
+		drain   = fs.Duration("drain-timeout", 15*time.Second, "SIGTERM grace: time in-flight jobs get before cancellation")
+		version = fs.Bool("version", false, "print version and exit")
+	)
+	_ = fs.Parse(args)
+	if *version {
+		fmt.Println(buildinfo.String("teemd"))
+		return
+	}
+
+	svc, err := service.New(service.Options{Workers: *workers, QueueDepth: *queue, KeepJobs: *keep})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.Metrics().PublishExpvar()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s", buildinfo.String("teemd"))
+	log.Printf("listening on %s", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutdown signal; draining jobs (timeout %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := svc.Drain(dctx); err != nil {
+		log.Printf("drain deadline hit; in-flight jobs cancelled")
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+	}
+	log.Printf("bye: %s", svc.Metrics())
+}

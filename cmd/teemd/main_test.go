@@ -1,0 +1,295 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"teem/internal/scenario"
+	"teem/internal/service"
+)
+
+// binDir holds the teemd and teemscenario binaries TestMain builds once
+// for the whole process-level suite.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "teemd-smoke-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	build := exec.Command("go", "build", "-o", dir, "teem/cmd/teemd", "teem/cmd/teemscenario")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "building smoke binaries: %v\n", err)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	binDir = dir
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// daemon is one running teemd under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://127.0.0.1:port
+	logc chan string
+}
+
+// startDaemon boots teemd on an ephemeral port and waits for its
+// listening line.
+func startDaemon(t *testing.T, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(filepath.Join(binDir, "teemd"), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, logc: make(chan string, 256)}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "teemd: listening on "); ok {
+				select {
+				case addrc <- rest:
+				default:
+				}
+			}
+			select {
+			case d.logc <- line:
+			default:
+			}
+		}
+		close(d.logc)
+	}()
+	select {
+	case addr := <-addrc:
+		d.base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("teemd never reported its listening address")
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	return d
+}
+
+func (d *daemon) get(t *testing.T, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func (d *daemon) post(t *testing.T, path string, v any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func (d *daemon) waitTerminal(t *testing.T, id string, timeout time.Duration) service.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		_, body := d.get(t, "/v1/jobs/"+id)
+		var js service.JobStatus
+		if err := json.Unmarshal(body, &js); err != nil {
+			t.Fatalf("bad status body %s: %v", body, err)
+		}
+		if js.Terminal() {
+			return js
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s", id, js.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeSmoke is the make serve-smoke gate: boot teemd on a random
+// port, hit /healthz, submit a preset scenario, stream it to completion,
+// verify the result is byte-identical to the teemscenario CLI, check the
+// request cache, cancel a long run, and shut down cleanly on SIGTERM.
+func TestServeSmoke(t *testing.T) {
+	d := startDaemon(t)
+
+	code, body := d.get(t, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d: %s", code, body)
+	}
+
+	// Submit a preset scenario and stream it to completion.
+	code, body = d.post(t, "/v1/jobs", service.JobRequest{Preset: "sunlight", Governors: []string{"ondemand"}})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	var js service.JobStatus
+	if err := json.Unmarshal(body, &js); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(d.base + "/v1/jobs/" + js.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, sawDone := 0, false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON %q: %v", sc.Text(), err)
+		}
+		switch ev["type"] {
+		case "sample":
+			samples++
+		case "done":
+			sawDone = true
+		}
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if samples == 0 || !sawDone {
+		t.Fatalf("stream had %d samples, done=%v", samples, sawDone)
+	}
+
+	// The rendered result must be byte-identical to the CLI's stdout
+	// for the same work.
+	code, got := d.get(t, "/v1/jobs/"+js.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result = %d: %s", code, got)
+	}
+	cli := exec.Command(filepath.Join(binDir, "teemscenario"), "-preset", "sunlight", "-govs", "ondemand")
+	var cliOut bytes.Buffer
+	cli.Stdout = &cliOut
+	cli.Stderr = os.Stderr
+	if err := cli.Run(); err != nil {
+		t.Fatalf("teemscenario: %v", err)
+	}
+	if !bytes.Equal(got, cliOut.Bytes()) {
+		t.Errorf("daemon result (%d bytes) != teemscenario stdout (%d bytes)\ndaemon:\n%s\ncli:\n%s",
+			len(got), cliOut.Len(), got, cliOut.Bytes())
+	}
+
+	// A repeated identical request is a cache hit.
+	code, body = d.post(t, "/v1/jobs", service.JobRequest{Preset: "sunlight", Governors: []string{"ondemand"}})
+	if code != http.StatusOK {
+		t.Fatalf("cached submit = %d: %s", code, body)
+	}
+	var js2 service.JobStatus
+	if err := json.Unmarshal(body, &js2); err != nil {
+		t.Fatal(err)
+	}
+	if !js2.Cached || js2.ID != js.ID {
+		t.Errorf("repeat = %+v, want cached %s", js2, js.ID)
+	}
+
+	// Cancel a long-running job; it must land cancelled promptly.
+	long, err := scenario.New("smoke-long").ArriveDefault(0, "COVARIANCE").Horizon(100000).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw bytes.Buffer
+	if err := long.Save(&raw); err != nil {
+		t.Fatal(err)
+	}
+	code, body = d.post(t, "/v1/jobs", service.JobRequest{Scenario: raw.Bytes()})
+	if code != http.StatusAccepted {
+		t.Fatalf("long submit = %d: %s", code, body)
+	}
+	var lj service.JobStatus
+	if err := json.Unmarshal(body, &lj); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if code, body = d.post(t, "/v1/jobs/"+lj.ID+"/cancel", nil); code != http.StatusOK {
+		t.Fatalf("cancel = %d: %s", code, body)
+	}
+	fin := d.waitTerminal(t, lj.ID, 10*time.Second)
+	if fin.Status != service.StatusCancelled {
+		t.Errorf("long job ended %s, want cancelled", fin.Status)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancellation took %v", d)
+	}
+
+	// Metrics are exported via expvar at /debug/vars.
+	code, body = d.get(t, "/debug/vars")
+	if code != http.StatusOK || !bytes.Contains(body, []byte("teemd.jobs_done")) {
+		t.Errorf("/debug/vars = %d, teemd.* present=%v", code, bytes.Contains(body, []byte("teemd.jobs_done")))
+	}
+
+	// SIGTERM drains and exits 0.
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("teemd exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		_ = d.cmd.Process.Kill()
+		t.Fatal("teemd did not exit on SIGTERM")
+	}
+}
+
+// TestLoadSubcommand points the teemd load generator at a live daemon:
+// 16 concurrent clients, every result byte-identical to the CLI render.
+func TestLoadSubcommand(t *testing.T) {
+	d := startDaemon(t)
+	load := exec.Command(filepath.Join(binDir, "teemd"), "load",
+		"-addr", d.base, "-clients", "16", "-requests", "1")
+	out, err := load.CombinedOutput()
+	if err != nil {
+		t.Fatalf("teemd load: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("byte-identical")) {
+		t.Errorf("load output lacks the verification line:\n%s", out)
+	}
+}

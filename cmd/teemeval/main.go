@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 
+	"teem/internal/buildinfo"
 	"teem/internal/experiments"
 	"teem/internal/mapping"
 )
@@ -29,8 +30,13 @@ func main() {
 		nBig    = flag.Int("big", 4, "Fig. 5 mapping: big cores")
 		nLittle = flag.Int("little", 2, "Fig. 5 mapping: LITTLE cores")
 		workers = flag.Int("workers", 0, "parallel experiment workers (0 = one per CPU, 1 = serial)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("teemeval"))
+		return
+	}
 
 	env, err := experiments.NewEnvWith(experiments.Options{Workers: *workers})
 	if err != nil {

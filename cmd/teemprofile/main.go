@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"teem/internal/buildinfo"
 	"teem/internal/core"
 	"teem/internal/experiments"
 	"teem/internal/mapping"
@@ -30,8 +31,13 @@ func main() {
 		appName  = flag.String("app", "COVARIANCE", "Polybench application name")
 		showObs  = flag.Bool("observations", false, "print the raw profiling observations")
 		savePath = flag.String("save", "", "write the runtime model store (JSON) to this file")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("teemprofile"))
+		return
+	}
 
 	env, err := experiments.NewEnv()
 	if err != nil {

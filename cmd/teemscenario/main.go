@@ -28,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"teem/internal/buildinfo"
 	"teem/internal/scenario"
 	"teem/internal/sim"
 	"teem/internal/soc"
@@ -49,8 +50,13 @@ func main() {
 		netPath    = flag.String("thermal", "", "custom thermal network (JSON)")
 		list       = flag.Bool("list", false, "list built-in presets and governors, then exit")
 		dump       = flag.Bool("dump", false, "print the selected scenarios as JSON, then exit")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("teemscenario"))
+		return
+	}
 
 	if *list {
 		fmt.Println("presets:")

@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"teem/internal/buildinfo"
 	"teem/internal/core"
 	"teem/internal/governor"
 	"teem/internal/mapping"
@@ -42,8 +43,13 @@ func main() {
 		cold      = flag.Bool("cold", false, "start from ambient instead of the steady-regime protocol")
 		platPath  = flag.String("platform", "", "load a custom platform description (JSON) instead of the Exynos 5422")
 		netPath   = flag.String("thermal", "", "load a custom thermal network (JSON)")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("teemsim"))
+		return
+	}
 
 	app, err := workload.ByShort(*appCode)
 	if err != nil {

@@ -1,6 +1,7 @@
 package teem_test
 
 import (
+	"context"
 	"fmt"
 
 	"teem"
@@ -54,6 +55,44 @@ func ExampleNewScenario() {
 		len(res.Sim.JobFinishes), res.Passed())
 	// Output:
 	// jobs finished: 2, assertions passed: true
+}
+
+// ExampleNewService runs the teemd engine in-process: submit a preset
+// scenario as a managed job, wait for it, and read the summary. The
+// rendered result text is byte-identical to the equivalent teemscenario
+// CLI run, and identical requests are served from the request cache.
+func ExampleNewService() {
+	svc, err := teem.NewService(teem.ServiceOptions{Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+
+	job, cached, err := svc.Submit(&teem.JobRequest{Preset: "sunlight", Governors: []string{"ondemand"}})
+	if err != nil {
+		panic(err)
+	}
+	// Stream follows the job live (per-sample NDJSON telemetry) and
+	// returns when it finishes — here we just drain it as a wait.
+	if err := job.Stream(context.Background(), func([]byte) error { return nil }); err != nil {
+		panic(err)
+	}
+	_, sum, err := job.Result()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(job.Snapshot().Status, cached, sum.Cells, sum.Violations)
+
+	// The identical request again: answered from the single-flight
+	// request cache, no second simulation.
+	again, cached, err := svc.Submit(&teem.JobRequest{Preset: "sunlight", Governors: []string{"ondemand"}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(again.ID == job.ID, cached)
+	// Output:
+	// done false 1 0
+	// true true
 }
 
 // ExampleNewSpace reproduces the paper's design-space counts (Eqs. 1–2).

@@ -1,0 +1,61 @@
+// Package buildinfo carries the build identity every cmd/* binary prints
+// for -version: version, commit and build date. The values are injected
+// at link time; a plain `go build` falls back to the VCS metadata the Go
+// toolchain embeds, so even an unstamped binary names its commit.
+//
+// Stamp a release build with:
+//
+//	go build -ldflags "\
+//	  -X teem/internal/buildinfo.Version=v1.2.3 \
+//	  -X teem/internal/buildinfo.Commit=$(git rev-parse --short HEAD) \
+//	  -X teem/internal/buildinfo.Date=$(date -u +%Y-%m-%dT%H:%M:%SZ)" ./cmd/...
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Link-time variables (see the package comment for the -ldflags recipe).
+var (
+	// Version is the semantic version of the build ("dev" when unset).
+	Version = "dev"
+	// Commit is the VCS revision the binary was built from.
+	Commit = ""
+	// Date is the UTC build timestamp.
+	Date = ""
+)
+
+// String renders the one-line version banner of the named binary, e.g.
+//
+//	teemd dev (commit 1a2b3c4, built 2026-07-28T00:00:00Z, go1.24.0)
+//
+// Unstamped fields fall back to the toolchain's embedded VCS metadata and
+// finally to "unknown", so the line is always complete.
+func String(binary string) string {
+	commit, date := Commit, Date
+	if commit == "" || date == "" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					if commit == "" && len(s.Value) >= 7 {
+						commit = s.Value[:7]
+					}
+				case "vcs.time":
+					if date == "" {
+						date = s.Value
+					}
+				}
+			}
+		}
+	}
+	if commit == "" {
+		commit = "unknown"
+	}
+	if date == "" {
+		date = "unknown"
+	}
+	return fmt.Sprintf("%s %s (commit %s, built %s, %s)", binary, Version, commit, date, runtime.Version())
+}

@@ -1,0 +1,30 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringIsComplete(t *testing.T) {
+	s := String("teemd")
+	if !strings.HasPrefix(s, "teemd ") {
+		t.Errorf("banner %q does not lead with the binary name", s)
+	}
+	for _, want := range []string{"commit ", "built ", "go"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("banner %q lacks %q", s, want)
+		}
+	}
+}
+
+func TestStringUsesStampedValues(t *testing.T) {
+	oldV, oldC, oldD := Version, Commit, Date
+	defer func() { Version, Commit, Date = oldV, oldC, oldD }()
+	Version, Commit, Date = "v9.9.9", "abc1234", "2026-07-28T00:00:00Z"
+	s := String("teemsim")
+	for _, want := range []string{"v9.9.9", "abc1234", "2026-07-28T00:00:00Z"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("banner %q lacks stamped value %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"teem/internal/scenario"
+)
+
+// A cancelled scenario grid must come back promptly as a partial result
+// with ctx.Err() in the chain — the cancellation contract the service
+// layer relies on.
+func TestScenarioGridCtxCancel(t *testing.T) {
+	env, err := NewEnvWith(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	grid, err := env.ScenarioGridCtx(ctx, []*scenario.Scenario{scenario.Sunlight()}, []string{"ondemand"})
+	if err == nil {
+		t.Fatal("pre-cancelled grid returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled in the chain", err)
+	}
+	if grid == nil {
+		t.Fatal("cancelled grid returned no partial result")
+	}
+}
+
+// A cancelled sweep stops early instead of simulating every point.
+func TestThresholdSweepCtxCancel(t *testing.T) {
+	env, err := NewEnvWith(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := env.ThresholdSweepCtx(ctx, []float64{80, 85, 90}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

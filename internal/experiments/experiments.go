@@ -29,6 +29,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -136,6 +137,12 @@ type Fig1Result struct {
 // partition 1024 of 2048, ondemand+TMU against the TEEM controller. The
 // two runs are independent and execute on the worker pool.
 func (e *Env) Fig1() (*Fig1Result, error) {
+	return e.Fig1Ctx(context.Background())
+}
+
+// Fig1Ctx is Fig1 under a context: cancelling ctx aborts both runs
+// within one engine tick.
+func (e *Env) Fig1Ctx(ctx context.Context) (*Fig1Result, error) {
 	m := mapping.Mapping{Big: 3, Little: 2, UseGPU: true}
 	part := mapping.Partition{Num: 4, Den: 8}
 	app := workload.Covariance()
@@ -148,11 +155,12 @@ func (e *Env) Fig1() (*Fig1Result, error) {
 		{name: "ondemand", gov: governor.NewOndemand()},
 		{name: "teem", gov: core.NewController(e.Params)},
 	}
-	if err := par.ForEach(e.Workers(), len(runs), func(i int) error {
+	if err := par.ForEachCtx(ctx, e.Workers(), len(runs), func(i int) error {
 		res, err := sim.RunWarm(sim.Config{
 			Platform: e.Plat, Net: e.Net, App: app,
 			Map: m, Part: part,
 			Governor: runs[i].gov,
+			Done:     ctx.Done(),
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: fig1 %s: %w", runs[i].name, err)
@@ -288,6 +296,51 @@ type Fig5Result struct {
 // a serial run. Concurrent callers of the same mapping share one
 // evaluation.
 func (e *Env) Fig5(m mapping.Mapping) (*Fig5Result, error) {
+	return e.Fig5Ctx(context.Background(), m)
+}
+
+// Fig5Ctx is Fig5 under a context: cancelling ctx stops scheduling new
+// application rows (rows already in flight finish — each is a few
+// independent simulations). A cancelled evaluation is forgotten by the
+// single-flight cache (error path), so a later call recomputes it.
+// Concurrent callers of the same mapping share one execution — and with
+// it the executing caller's cancellation — so a caller whose own
+// context is still live retries when the shared execution dies of
+// somebody else's cancellation, instead of surfacing a spurious error.
+func (e *Env) Fig5Ctx(ctx context.Context, m mapping.Mapping) (*Fig5Result, error) {
+	type outcome struct {
+		res *Fig5Result
+		err error
+	}
+	for {
+		// Join (or start) the shared execution without blocking past
+		// our own cancellation: a caller that joined somebody else's
+		// evaluation must still return the moment its ctx dies. The
+		// goroutine left behind merely finishes waiting on the shared
+		// result, which stays cached for future callers.
+		ch := make(chan outcome, 1)
+		go func() {
+			res, err := e.fig5Do(ctx, m)
+			ch <- outcome{res, err}
+		}()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case o := <-ch:
+			if o.err != nil && ctx.Err() == nil &&
+				(errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded) || errors.Is(o.err, sim.ErrAborted)) {
+				// The shared execution was cancelled by another
+				// caller; the failed key is already forgotten, so
+				// this attempt re-executes under our own, still-live
+				// context.
+				continue
+			}
+			return o.res, o.err
+		}
+	}
+}
+
+func (e *Env) fig5Do(ctx context.Context, m mapping.Mapping) (*Fig5Result, error) {
 	return e.fig5.Do(m.String(), func() (*Fig5Result, error) {
 		// Validate the mapping once, before fanning out (NewEEMP and
 		// NewRMP reject unusable mappings).
@@ -299,7 +352,7 @@ func (e *Env) Fig5(m mapping.Mapping) (*Fig5Result, error) {
 		}
 		apps := workload.Apps()
 		out := &Fig5Result{Mapping: m, Rows: make([]Fig5Row, len(apps))}
-		if err := par.ForEach(e.Workers(), len(apps), func(i int) error {
+		if err := par.ForEachCtx(ctx, e.Workers(), len(apps), func(i int) error {
 			row, err := e.fig5Row(apps[i], m)
 			if err != nil {
 				return err
@@ -484,24 +537,27 @@ type SweepPoint struct {
 // runTEEMWith runs COVARIANCE (2L+4B, CPU-bound partition 5/8 so the
 // regulated cluster is the execution-time pole) under modified controller
 // parameters.
-func (e *Env) runTEEMWith(p core.Params) (*sim.Result, error) {
+func (e *Env) runTEEMWith(ctx context.Context, p core.Params) (*sim.Result, error) {
 	app := workload.Covariance()
 	m := mapping.Mapping{Big: 4, Little: 2, UseGPU: true}
 	return sim.RunWarm(sim.Config{
 		Platform: e.Plat, Net: e.Net, App: app,
 		Map: m, Part: mapping.Partition{Num: 5, Den: 8},
 		Governor: core.NewController(p),
+		Done:     ctx.Done(),
 	})
 }
 
 // sweep fans the ablation points out across the worker pool: every point
 // is an independent simulation under modified controller parameters, and
 // the result slice is assembled by index, matching the serial order.
-func (e *Env) sweep(n int, modify func(i int) (value float64, p core.Params)) ([]SweepPoint, error) {
+// Cancelling ctx stops scheduling new points and aborts in-flight
+// simulations within one engine tick.
+func (e *Env) sweep(ctx context.Context, n int, modify func(i int) (value float64, p core.Params)) ([]SweepPoint, error) {
 	out := make([]SweepPoint, n)
-	if err := par.ForEach(e.Workers(), n, func(i int) error {
+	if err := par.ForEachCtx(ctx, e.Workers(), n, func(i int) error {
 		v, p := modify(i)
-		res, err := e.runTEEMWith(p)
+		res, err := e.runTEEMWith(ctx, p)
 		if err != nil {
 			return err
 		}
@@ -521,10 +577,15 @@ func (e *Env) sweep(n int, modify func(i int) (value float64, p core.Params)) ([
 // 85 °C: higher thresholds cause frequent frequency changes, lower ones
 // give up performance).
 func (e *Env) ThresholdSweep(thresholds []float64) ([]SweepPoint, error) {
+	return e.ThresholdSweepCtx(context.Background(), thresholds)
+}
+
+// ThresholdSweepCtx is ThresholdSweep under a context (cancellable).
+func (e *Env) ThresholdSweepCtx(ctx context.Context, thresholds []float64) ([]SweepPoint, error) {
 	if len(thresholds) == 0 {
 		return nil, errors.New("experiments: empty threshold sweep")
 	}
-	return e.sweep(len(thresholds), func(i int) (float64, core.Params) {
+	return e.sweep(ctx, len(thresholds), func(i int) (float64, core.Params) {
 		p := e.Params
 		p.ThresholdC = thresholds[i]
 		return thresholds[i], p
@@ -533,10 +594,15 @@ func (e *Env) ThresholdSweep(thresholds []float64) ([]SweepPoint, error) {
 
 // DeltaSweep ablates the step-down δ (paper: 200 MHz).
 func (e *Env) DeltaSweep(deltasMHz []int) ([]SweepPoint, error) {
+	return e.DeltaSweepCtx(context.Background(), deltasMHz)
+}
+
+// DeltaSweepCtx is DeltaSweep under a context (cancellable).
+func (e *Env) DeltaSweepCtx(ctx context.Context, deltasMHz []int) ([]SweepPoint, error) {
 	if len(deltasMHz) == 0 {
 		return nil, errors.New("experiments: empty delta sweep")
 	}
-	return e.sweep(len(deltasMHz), func(i int) (float64, core.Params) {
+	return e.sweep(ctx, len(deltasMHz), func(i int) (float64, core.Params) {
 		p := e.Params
 		p.DeltaMHz = deltasMHz[i]
 		return float64(deltasMHz[i]), p
@@ -545,10 +611,15 @@ func (e *Env) DeltaSweep(deltasMHz []int) ([]SweepPoint, error) {
 
 // FloorSweep ablates the frequency floor (paper: 1400 MHz).
 func (e *Env) FloorSweep(floorsMHz []int) ([]SweepPoint, error) {
+	return e.FloorSweepCtx(context.Background(), floorsMHz)
+}
+
+// FloorSweepCtx is FloorSweep under a context (cancellable).
+func (e *Env) FloorSweepCtx(ctx context.Context, floorsMHz []int) ([]SweepPoint, error) {
 	if len(floorsMHz) == 0 {
 		return nil, errors.New("experiments: empty floor sweep")
 	}
-	return e.sweep(len(floorsMHz), func(i int) (float64, core.Params) {
+	return e.sweep(ctx, len(floorsMHz), func(i int) (float64, core.Params) {
 		p := e.Params
 		p.FloorMHz = floorsMHz[i]
 		return float64(floorsMHz[i]), p

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"teem/internal/scenario"
 )
 
@@ -10,11 +12,19 @@ import (
 // assembled by index, so parallel output is byte-identical to a serial
 // run. An empty governor list runs the stock registry.
 func (e *Env) ScenarioGrid(scs []*scenario.Scenario, governors []string) (*scenario.GridResult, error) {
+	return e.ScenarioGridCtx(context.Background(), scs, governors)
+}
+
+// ScenarioGridCtx is ScenarioGrid under a context: cancelling ctx stops
+// scheduling new cells, aborts in-flight simulations within one engine
+// tick, and returns the partial grid with an error wrapping ctx.Err()
+// (see scenario.RunGridCtx).
+func (e *Env) ScenarioGridCtx(ctx context.Context, scs []*scenario.Scenario, governors []string) (*scenario.GridResult, error) {
 	if len(governors) == 0 {
 		governors = scenario.GovernorNames()
 	}
 	rc := scenario.Config{Platform: e.Plat, Net: e.Net}
-	return scenario.RunGrid(scs, governors, rc, e.Workers())
+	return scenario.RunGridCtx(ctx, scs, governors, rc, e.Workers())
 }
 
 // ScenarioPresets runs the built-in scenario corpus under the stock
@@ -27,9 +37,15 @@ func (e *Env) ScenarioPresets() (*scenario.GridResult, error) {
 // and runs it under the named governors on the environment's platform —
 // measured device traces through the same grid machinery as the presets.
 func (e *Env) ScenarioReplay(tr *scenario.ArrivalTrace, governors []string) (*scenario.GridResult, error) {
+	return e.ScenarioReplayCtx(context.Background(), tr, governors)
+}
+
+// ScenarioReplayCtx is ScenarioReplay under a context (see
+// ScenarioGridCtx for the cancellation contract).
+func (e *Env) ScenarioReplayCtx(ctx context.Context, tr *scenario.ArrivalTrace, governors []string) (*scenario.GridResult, error) {
 	sc, err := scenario.FromTrace(tr)
 	if err != nil {
 		return nil, err
 	}
-	return e.ScenarioGrid([]*scenario.Scenario{sc}, governors)
+	return e.ScenarioGridCtx(ctx, []*scenario.Scenario{sc}, governors)
 }

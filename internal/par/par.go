@@ -1,16 +1,21 @@
 // Package par is the concurrency substrate of the parallel experiment
-// engine: a bounded worker pool with deterministic result assembly and a
-// generic single-flight cache.
+// engine and the service layer: bounded one-shot fan-outs with
+// deterministic result assembly (ForEach/ForEachCtx), a long-lived
+// bounded worker pool for managed jobs (Pool), and a generic
+// single-flight cache (Flight).
 //
-// The pool runs index-addressed work so callers write results into
+// The fan-outs run index-addressed work so callers write results into
 // pre-sized slices — output order is decided by index, not by completion
-// order, which keeps parallel results byte-identical to a serial loop.
-// The single-flight cache collapses concurrent computations of the same
-// key into one execution whose result every caller shares; failed
-// computations are forgotten so a later call retries.
+// order, which keeps parallel results byte-identical to a serial loop;
+// the context variant stops scheduling new indices on cancellation so
+// callers get partial results promptly. The single-flight cache collapses
+// concurrent computations of the same key into one execution whose result
+// every caller shares; failed computations are forgotten so a later call
+// retries, and Forget invalidates stale entries.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,12 +52,27 @@ func Normalize(workers, n int) int {
 // an index-addressed slot owned by the caller; distinct indices never
 // run fn concurrently on the same slot.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach under a context: a cancellation stops the
+// scheduling of new indices (in-flight calls finish) and ctx.Err() is
+// returned — unless some fn failed first, in which case that error wins,
+// with the same lowest-failing-index determinism ForEach guarantees.
+// Work already written into caller-owned slots before the cancellation is
+// preserved, so callers can report partial results. A fan-out whose every
+// index completed returns nil even when ctx was cancelled in the final
+// moments — complete work is complete, serial and parallel alike.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = Normalize(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -60,14 +80,20 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
-	var next int64
+	var next, completed int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for !failed.Load() {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
@@ -75,6 +101,8 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if err := fn(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
+				} else {
+					atomic.AddInt64(&completed, 1)
 				}
 			}
 		}()
@@ -85,7 +113,13 @@ func ForEach(workers, n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	if atomic.LoadInt64(&completed) == int64(n) {
+		// Every index ran to success: a cancellation that landed after
+		// the last fn returned must not turn complete work into a
+		// partial result (the serial path behaves the same way).
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Flight is a single-flight cache: concurrent Do calls with the same key
@@ -129,6 +163,17 @@ func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	f.mu.Unlock()
 	close(c.done)
 	return c.val, c.err
+}
+
+// Forget drops key from the cache so the next Do recomputes it. An
+// in-flight computation is not interrupted: its callers still receive the
+// result, but the key is re-executed by whoever asks after the Forget —
+// the invalidation hook for caches whose values can go stale (e.g. a
+// cached job that was later cancelled).
+func (f *Flight[K, V]) Forget(key K) {
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
 }
 
 // Cached reports whether key currently holds a completed, successful

@@ -1,0 +1,129 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Pool errors.
+var (
+	// ErrPoolClosed reports a Submit after Close or Drain.
+	ErrPoolClosed = errors.New("par: pool is closed")
+	// ErrPoolFull reports a Submit that found the queue at capacity.
+	ErrPoolFull = errors.New("par: pool queue is full")
+)
+
+// Pool is a long-lived bounded worker pool — the job-manager substrate of
+// the service layer, as opposed to ForEach's one-shot fan-outs. Tasks are
+// queued by Submit up to a fixed queue depth (admission control: a full
+// queue rejects instead of blocking) and executed by a fixed set of
+// workers in submission order. Every task receives the pool's context,
+// which Close cancels, so in-flight work shuts down promptly on teardown;
+// Drain instead lets queued and running tasks finish.
+type Pool struct {
+	tasks  chan func(context.Context)
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	queued  int
+	running int
+}
+
+// NewPool starts workers goroutines servicing a queue of depth queue.
+// workers <= 0 selects DefaultWorkers; queue <= 0 selects a queue as deep
+// as the worker count.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if queue <= 0 {
+		queue = workers
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		tasks:  make(chan func(context.Context), queue),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for fn := range p.tasks {
+		p.mu.Lock()
+		p.queued--
+		p.running++
+		p.mu.Unlock()
+		fn(p.ctx)
+		p.mu.Lock()
+		p.running--
+		p.mu.Unlock()
+	}
+}
+
+// Submit enqueues fn without blocking. It returns ErrPoolFull when the
+// queue is at capacity (the caller sheds load) and ErrPoolClosed after
+// Close or Drain. fn must honour the context it receives: Close cancels
+// it, and a task that ignores the cancellation stalls the teardown.
+func (p *Pool) Submit(fn func(ctx context.Context)) error {
+	if fn == nil {
+		return errors.New("par: Submit needs a task")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- fn:
+		p.queued++
+		return nil
+	default:
+		return ErrPoolFull
+	}
+}
+
+// Queued returns the number of submitted-but-not-started tasks; Running
+// the number currently executing.
+func (p *Pool) Queued() int { p.mu.Lock(); defer p.mu.Unlock(); return p.queued }
+
+// Running returns the number of tasks currently executing.
+func (p *Pool) Running() int { p.mu.Lock(); defer p.mu.Unlock(); return p.running }
+
+// Drain stops accepting tasks, lets every queued and running task finish,
+// and waits for the workers to exit. Safe to call more than once and
+// concurrently with Close.
+func (p *Pool) Drain() {
+	p.shutdown(false)
+}
+
+// Close stops accepting tasks, cancels the pool context so running tasks
+// abort promptly, and waits for the workers to exit. Queued tasks still
+// execute, but with an already-cancelled context — a task that checks its
+// context first thing turns into a cheap no-op.
+func (p *Pool) Close() {
+	p.shutdown(true)
+}
+
+func (p *Pool) shutdown(cancel bool) {
+	p.mu.Lock()
+	wasClosed := p.closed
+	p.closed = true
+	p.mu.Unlock()
+	if cancel {
+		p.cancel()
+	}
+	if !wasClosed {
+		close(p.tasks)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,219 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCtxCancelStopsScheduling(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var executed int32
+		const n = 1000
+		err := ForEachCtx(ctx, workers, n, func(i int) error {
+			if atomic.AddInt32(&executed, 1) == 1 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if got := atomic.LoadInt32(&executed); got >= n {
+			t.Errorf("workers=%d: all %d indices ran despite cancellation at the first", workers, got)
+		}
+	}
+}
+
+// A fn failure must still win over the cancellation it may have provoked,
+// keeping the lowest-failing-index determinism of ForEach.
+func TestForEachCtxFnErrorWinsOverCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachCtx(ctx, 4, 100, func(i int) error {
+		if i == 3 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+}
+
+func TestForEachCtxCompletedWorkSurvives(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 64
+	out := make([]int, n)
+	_ = ForEachCtx(ctx, 4, n, func(i int) error {
+		out[i] = i + 1
+		if i == 10 {
+			cancel()
+		}
+		return nil
+	})
+	// Every index that ran wrote its slot; index 10 certainly ran.
+	if out[10] != 11 {
+		t.Error("completed slot lost after cancellation")
+	}
+}
+
+// A cancellation that lands after the last index completed must not turn
+// complete work into a partial result — serial and parallel agree.
+func TestForEachCtxCompleteWorkBeatsLateCancel(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 32
+		var ran int32
+		err := ForEachCtx(ctx, workers, n, func(i int) error {
+			if atomic.AddInt32(&ran, 1) == n {
+				cancel() // the final index cancels on its way out
+			}
+			return nil
+		})
+		cancel()
+		if err != nil {
+			t.Errorf("workers=%d: fully-completed fan-out returned %v, want nil", workers, err)
+		}
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var executed int32
+	err := ForEachCtx(ctx, 1, 10, func(i int) error {
+		atomic.AddInt32(&executed, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if executed != 0 {
+		t.Errorf("%d indices ran under a pre-cancelled context", executed)
+	}
+}
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran int32
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := p.Submit(func(context.Context) { atomic.AddInt32(&ran, 1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	p.Drain()
+	if ran != n {
+		t.Errorf("ran %d tasks, want %d", ran, n)
+	}
+}
+
+func TestPoolRejectsWhenFull(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func(context.Context) { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker holds the first task; the queue is empty again
+	if err := p.Submit(func(context.Context) { <-block }); err != nil {
+		t.Fatal(err)
+	}
+	// Queue depth 1 is now occupied: the next submit must shed.
+	if err := p.Submit(func(context.Context) {}); !errors.Is(err, ErrPoolFull) {
+		t.Errorf("got %v, want ErrPoolFull", err)
+	}
+	close(block)
+}
+
+func TestPoolSubmitAfterCloseRejected(t *testing.T) {
+	p := NewPool(1, 1)
+	p.Close()
+	if err := p.Submit(func(context.Context) {}); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("got %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolCloseCancelsRunningTasks(t *testing.T) {
+	p := NewPool(1, 1)
+	entered := make(chan struct{})
+	var sawCancel atomic.Bool
+	if err := p.Submit(func(ctx context.Context) {
+		close(entered)
+		select {
+		case <-ctx.Done():
+			sawCancel.Store(true)
+		case <-time.After(5 * time.Second):
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not return: running task never saw the cancellation")
+	}
+	if !sawCancel.Load() {
+		t.Error("running task did not observe the pool context cancellation")
+	}
+}
+
+func TestPoolConcurrentSubmitRaceClean(t *testing.T) {
+	p := NewPool(4, 256)
+	var ran int32
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				for {
+					err := p.Submit(func(context.Context) { atomic.AddInt32(&ran, 1) })
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrPoolFull) {
+						t.Errorf("submit: %v", err)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Drain()
+	if ran != 16*16 {
+		t.Errorf("ran %d tasks, want %d", ran, 16*16)
+	}
+}
+
+func TestFlightForget(t *testing.T) {
+	var f Flight[string, int]
+	var runs int32
+	mk := func() (int, error) { return int(atomic.AddInt32(&runs, 1)), nil }
+	if v, _ := f.Do("k", mk); v != 1 {
+		t.Fatalf("first Do = %d, want 1", v)
+	}
+	if v, _ := f.Do("k", mk); v != 1 {
+		t.Fatalf("cached Do = %d, want 1", v)
+	}
+	f.Forget("k")
+	if f.Cached("k") {
+		t.Error("key still cached after Forget")
+	}
+	if v, _ := f.Do("k", mk); v != 2 {
+		t.Fatalf("post-Forget Do = %d, want 2 (recomputed)", v)
+	}
+}

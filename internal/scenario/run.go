@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"teem/internal/sim"
 	"teem/internal/soc"
 	"teem/internal/thermal"
+	"teem/internal/trace"
 	"teem/internal/workload"
 )
 
@@ -54,6 +56,15 @@ type Config struct {
 	Integrator sim.Integrator
 	// InitialTempsC presets the chip state (default: ambient).
 	InitialTempsC []float64
+	// OnSample, when non-nil, receives every trace sample as the engine
+	// records it (the sim trace-subscriber hook) — live telemetry
+	// instead of a post-hoc trace copy. In a grid run the hook fires
+	// for every cell, possibly from concurrent worker goroutines.
+	OnSample func(s trace.Sample)
+	// OnCell, when non-nil, is invoked by RunGrid/RunGridCtx once per
+	// completed cell, from the worker goroutine that ran it (calls may
+	// be concurrent) — the grid progress hook.
+	OnCell func(r *Result)
 }
 
 // Result is one executed scenario × governor cell.
@@ -79,6 +90,15 @@ const ambientRampStepS = 0.1
 // before the run starts, so execution is fully deterministic: same
 // scenario, same config, same output.
 func Run(sc *Scenario, rc Config) (*Result, error) {
+	return RunCtx(context.Background(), sc, rc)
+}
+
+// RunCtx is Run under a context: cancelling ctx aborts the simulation
+// within one engine tick and RunCtx returns an error wrapping
+// sim.ErrAborted (and ctx.Err()). The background context reproduces Run
+// exactly — the cancellation poll costs one non-blocking channel receive
+// per tick and no allocations.
+func RunCtx(ctx context.Context, sc *Scenario, rc Config) (*Result, error) {
 	if sc == nil {
 		return nil, errors.New("scenario: nil scenario")
 	}
@@ -131,6 +151,8 @@ func Run(sc *Scenario, rc Config) (*Result, error) {
 		MinTimeS:      horizon,
 		Integrator:    rc.Integrator,
 		InitialTempsC: rc.InitialTempsC,
+		Done:          ctx.Done(),
+		OnSample:      rc.OnSample,
 	}
 	e, err := sim.New(cfg)
 	if err != nil {
@@ -382,6 +404,16 @@ type GridResult struct {
 // Violations — reports the full picture. Only structural misuse (an
 // empty or nil-bearing grid) returns an error.
 func RunGrid(scs []*Scenario, governors []string, rc Config, workers int) (*GridResult, error) {
+	return RunGridCtx(context.Background(), scs, governors, rc, workers)
+}
+
+// RunGridCtx is RunGrid under a context. Cancelling ctx stops the
+// scheduling of new cells and aborts in-flight simulations within one
+// engine tick; RunGridCtx then returns the partial grid — every cell
+// completed before the cancellation, nil for the rest — together with an
+// error wrapping ctx.Err(), rather than running the matrix to
+// completion. rc.OnCell, when set, observes each cell as it completes.
+func RunGridCtx(ctx context.Context, scs []*Scenario, governors []string, rc Config, workers int) (*GridResult, error) {
 	if len(scs) == 0 {
 		return nil, errors.New("scenario: empty grid (no scenarios)")
 	}
@@ -402,12 +434,17 @@ func RunGrid(scs []*Scenario, governors []string, rc Config, workers int) (*Grid
 		out.Cells[i] = make([]*Result, len(governors))
 	}
 	n := len(scs) * len(governors)
-	err := par.ForEach(workers, n, func(i int) error {
+	err := par.ForEachCtx(ctx, workers, n, func(i int) error {
 		si, gi := i/len(governors), i%len(governors)
 		cell := rc
 		cell.Governor = governors[gi]
-		r, err := Run(scs[si], cell)
+		r, err := RunCtx(ctx, scs[si], cell)
 		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, sim.ErrAborted) {
+				// A cancelled cell is not a cell failure: abort the
+				// fan-out instead of recording it as a violation.
+				return err
+			}
 			r = &Result{
 				Scenario:   scs[si].Name,
 				Governor:   governors[gi],
@@ -415,9 +452,23 @@ func RunGrid(scs []*Scenario, governors []string, rc Config, workers int) (*Grid
 			}
 		}
 		out.Cells[si][gi] = r
+		if rc.OnCell != nil {
+			rc.OnCell(r)
+		}
 		return nil
 	})
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			done := 0
+			for si := range out.Cells {
+				for gi := range out.Cells[si] {
+					if out.Cells[si][gi] != nil {
+						done++
+					}
+				}
+			}
+			return out, fmt.Errorf("scenario: grid cancelled with %d of %d cells complete: %w", done, n, cerr)
+		}
 		return nil, err
 	}
 	return out, nil
@@ -434,6 +485,11 @@ func (g *GridResult) Render() string {
 	for si := range g.Cells {
 		for gi := range g.Cells[si] {
 			r := g.Cells[si][gi]
+			if r == nil {
+				// A cancelled grid leaves unfinished cells nil.
+				t.AddRow(g.Scenarios[si], g.Governors[gi], "-", "-", "-", "-", "-", "-", "cancelled")
+				continue
+			}
 			status := "pass"
 			if !r.Passed() {
 				status = fmt.Sprintf("FAIL (%d)", len(r.Violations))
@@ -459,6 +515,9 @@ func (g *GridResult) Render() string {
 	for si := range g.Cells {
 		for gi := range g.Cells[si] {
 			r := g.Cells[si][gi]
+			if r == nil {
+				continue
+			}
 			for _, v := range r.Violations {
 				fmt.Fprintf(&b, "  %s under %s: %s\n", r.Scenario, r.Governor, v)
 			}
@@ -467,12 +526,15 @@ func (g *GridResult) Render() string {
 	return b.String()
 }
 
-// Violations counts failed assertions across the grid.
+// Violations counts failed assertions across the grid (nil cells of a
+// cancelled partial grid count zero).
 func (g *GridResult) Violations() int {
 	n := 0
 	for si := range g.Cells {
 		for gi := range g.Cells[si] {
-			n += len(g.Cells[si][gi].Violations)
+			if c := g.Cells[si][gi]; c != nil {
+				n += len(c.Violations)
+			}
 		}
 	}
 	return n

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"teem/internal/scenario"
+)
+
+func benchScenarioJSON(b *testing.B, name string) json.RawMessage {
+	b.Helper()
+	sc, err := scenario.New(name).
+		ArriveDefault(0, "MVT").
+		Horizon(5).
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sc.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func benchWait(b *testing.B, j *Job) {
+	b.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		js := j.Snapshot()
+		if js.Terminal() {
+			if js.Status != StatusDone {
+				b.Fatalf("job ended %s: %s", js.Status, js.Error)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("benchmark job stuck")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// BenchmarkServiceSubmit measures the end-to-end submit→done latency of
+// an uncached single-scenario job — the serving-path overhead on top of
+// the raw simulation (each iteration uses a distinct scenario name so
+// the request cache never short-circuits the work).
+func BenchmarkServiceSubmit(b *testing.B) {
+	s, err := New(Options{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, cached, err := s.Submit(&JobRequest{Scenario: benchScenarioJSON(b, fmt.Sprintf("bench-%d", i))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cached {
+			b.Fatal("benchmark request unexpectedly cached")
+		}
+		benchWait(b, j)
+	}
+}
+
+// BenchmarkServiceSubmitCached measures the cache-hit path: the steady
+// state of a hot request served without simulating.
+func BenchmarkServiceSubmitCached(b *testing.B) {
+	s, err := New(Options{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	req := &JobRequest{Scenario: benchScenarioJSON(b, "bench-cached")}
+	j, _, err := s.Submit(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWait(b, j)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cached, err := s.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cached {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkServiceStream measures full-stream replay throughput: one
+// completed job's telemetry (start + per-sample lines + done) drained by
+// a fresh subscriber per iteration.
+func BenchmarkServiceStream(b *testing.B) {
+	s, err := New(Options{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	j, _, err := s.Submit(&JobRequest{Preset: "sunlight", Governors: []string{"ondemand"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWait(b, j)
+	var total int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := int64(0)
+		if err := j.Stream(context.Background(), func(line []byte) error {
+			n += int64(len(line))
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		total = n
+	}
+	b.SetBytes(total)
+}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a job (JobRequest JSON) → JobStatus
+//	GET    /v1/jobs             list retained jobs → []JobStatus
+//	GET    /v1/jobs/{id}        poll one job → JobStatus
+//	GET    /v1/jobs/{id}/result rendered result text (byte-identical to the CLI)
+//	GET    /v1/jobs/{id}/stream live NDJSON telemetry (replays history, then follows)
+//	POST   /v1/jobs/{id}/cancel cancel (DELETE /v1/jobs/{id} is an alias)
+//	GET    /healthz             liveness + queue counts
+//	GET    /metrics             service counters as JSON
+//	GET    /debug/vars          process-wide expvar (includes teemd.* when published)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.Metrics())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrBusy):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotDone):
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	j, cached, err := s.Submit(&req)
+	if err != nil {
+		if errors.Is(err, ErrBusy) || errors.Is(err, ErrClosed) {
+			writeError(w, err)
+		} else {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		}
+		return
+	}
+	js := j.Snapshot()
+	js.Cached = cached
+	code := http.StatusAccepted
+	if cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, js)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	text, _, err := j.Result()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(text))
+}
+
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	_ = j.Stream(r.Context(), func(line []byte) error {
+		if _, werr := w.Write(line); werr != nil {
+			return werr
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		if errors.Is(err, ErrNotFound) {
+			writeError(w, err)
+		} else {
+			writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+		}
+		return
+	}
+	j, err := s.Job(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	queued, running := s.Counts()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if closed {
+		// A draining daemon fails its health check so load balancers
+		// stop routing to it while in-flight jobs finish.
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":       status,
+		"jobs_queued":  queued,
+		"jobs_running": running,
+	})
+}

@@ -1,0 +1,376 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"teem/internal/scenario"
+	"teem/internal/sim"
+	"teem/internal/trace"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	// StatusQueued: accepted, waiting for a pool worker.
+	StatusQueued Status = "queued"
+	// StatusRunning: a worker is simulating.
+	StatusRunning Status = "running"
+	// StatusDone: finished successfully; the result is available.
+	StatusDone Status = "done"
+	// StatusFailed: the run errored; Error carries the cause.
+	StatusFailed Status = "failed"
+	// StatusCancelled: cancelled before or during execution.
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Job is one managed simulation. All exported state is read through
+// Snapshot / Result; mutation happens on the owning service's pool
+// worker and through RequestCancel.
+type Job struct {
+	// ID is the service-assigned handle ("j1", "j2", ...).
+	ID string
+	// Req is the normalized request the job runs.
+	Req *JobRequest
+
+	key    string
+	svc    *Service
+	stream *streamBuf
+	// plan is the resolved work (scenarios × governors), parsed once at
+	// submission.
+	plan *jobPlan
+
+	mu              sync.Mutex
+	status          Status
+	err             string
+	text            string
+	summary         *ResultSummary
+	cancel          context.CancelFunc
+	cancelRequested bool
+	submittedAt     time.Time
+	startedAt       time.Time
+	finishedAt      time.Time
+}
+
+func newJob(id string, req *JobRequest, key string, svc *Service) *Job {
+	return &Job{
+		ID:          id,
+		Req:         req,
+		key:         key,
+		svc:         svc,
+		stream:      newStreamBuf(),
+		status:      StatusQueued,
+		submittedAt: now(),
+	}
+}
+
+// JobStatus is the wire snapshot of a job.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Status Status `json:"status"`
+	// Cached marks a submission answered by the request-hash cache
+	// (set by the transport on duplicate submissions, not stored).
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Summary is present once the job is done.
+	Summary     *ResultSummary `json:"summary,omitempty"`
+	SubmittedAt time.Time      `json:"submitted_at"`
+	StartedAt   *time.Time     `json:"started_at,omitempty"`
+	FinishedAt  *time.Time     `json:"finished_at,omitempty"`
+	// LatencyS is submit→finish for terminal jobs.
+	LatencyS float64 `json:"latency_s,omitempty"`
+}
+
+// Terminal reports whether the snapshot is final.
+func (js JobStatus) Terminal() bool { return js.Status.Terminal() }
+
+// Snapshot returns the job's current wire state.
+func (j *Job) Snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	js := JobStatus{
+		ID:          j.ID,
+		Kind:        j.Req.Kind,
+		Status:      j.status,
+		Error:       j.err,
+		Summary:     j.summary,
+		SubmittedAt: j.submittedAt,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		js.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		js.FinishedAt = &t
+		js.LatencyS = j.finishedAt.Sub(j.submittedAt).Seconds()
+	}
+	return js
+}
+
+// Result returns the rendered result text of a done job (byte-identical
+// to the equivalent CLI run) and its summary; ErrNotDone until then.
+func (j *Job) Result() (string, *ResultSummary, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusDone:
+		return j.text, j.summary, nil
+	case StatusFailed:
+		return "", nil, fmt.Errorf("service: job %s failed: %s", j.ID, j.err)
+	case StatusCancelled:
+		return "", nil, fmt.Errorf("service: job %s was cancelled", j.ID)
+	default:
+		return "", nil, fmt.Errorf("%w (job %s is %s)", ErrNotDone, j.ID, j.status)
+	}
+}
+
+// RequestCancel cancels the job: a queued job turns cancelled on the
+// spot (it never starts, and the status is observable immediately — not
+// only once a worker would have picked it up), a running job aborts
+// within one simulation tick. A job already in a terminal state reports
+// an error naming that state.
+func (j *Job) RequestCancel() error {
+	j.mu.Lock()
+	if j.status.Terminal() {
+		st := j.status
+		j.mu.Unlock()
+		return fmt.Errorf("service: job %s already %s", j.ID, st)
+	}
+	j.cancelRequested = true
+	if j.status == StatusQueued {
+		j.status = StatusCancelled
+		j.err = "cancelled while queued"
+		j.finishedAt = now()
+		j.mu.Unlock()
+		s := j.svc
+		s.metrics.queued.Add(-1)
+		s.metrics.cancelled.Add(1)
+		s.flight.Forget(j.key)
+		j.publishDone(StatusCancelled)
+		j.stream.close()
+		return nil
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return nil
+}
+
+// run executes the job on a pool worker. poolCtx is the pool's lifetime
+// context (cancelled by Service.Close); the job's own cancellation is
+// layered on top.
+func (j *Job) run(poolCtx context.Context) {
+	s := j.svc
+	ctx, cancel := context.WithCancel(poolCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.status.Terminal() {
+		// Cancelled while queued: RequestCancel already finalized the
+		// job and its metrics; the dequeued task is a no-op.
+		j.mu.Unlock()
+		return
+	}
+	if poolCtx.Err() != nil {
+		// The pool is shutting down before this job ever started.
+		j.status = StatusCancelled
+		j.err = "cancelled before start"
+		j.finishedAt = now()
+		j.mu.Unlock()
+		s.metrics.queued.Add(-1)
+		s.metrics.cancelled.Add(1)
+		s.flight.Forget(j.key)
+		j.publishDone(StatusCancelled)
+		j.stream.close()
+		return
+	}
+	j.status = StatusRunning
+	j.cancel = cancel
+	j.startedAt = now()
+	j.mu.Unlock()
+	s.metrics.queued.Add(-1)
+	s.metrics.running.Add(1)
+
+	j.publishStart()
+	text, summary, err := s.execute(ctx, j)
+
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.text = text
+		j.summary = summary
+	case ctx.Err() != nil || errors.Is(err, sim.ErrAborted):
+		j.status = StatusCancelled
+		j.err = err.Error()
+	default:
+		j.status = StatusFailed
+		j.err = err.Error()
+	}
+	j.finishedAt = now()
+	status := j.status
+	latency := j.finishedAt.Sub(j.submittedAt)
+	j.mu.Unlock()
+
+	s.metrics.running.Add(-1)
+	s.metrics.observeLatency(latency)
+	switch status {
+	case StatusDone:
+		s.metrics.done.Add(1)
+	case StatusCancelled:
+		s.metrics.cancelled.Add(1)
+		s.flight.Forget(j.key)
+	default:
+		s.metrics.failed.Add(1)
+		s.flight.Forget(j.key)
+	}
+	j.publishDone(status)
+	j.stream.close()
+}
+
+// --- telemetry stream ---------------------------------------------------------
+
+// The stream's wire format is one typed NDJSON object per line. Each
+// event type has its own encode struct so legitimately zero values
+// (t=0, 0 W, a 0 s execution time) are never dropped from the wire;
+// streamEvent below is the decode-side union.
+
+// lifecycleEvent announces "start" and "done".
+type lifecycleEvent struct {
+	Type   string `json:"type"`
+	Job    string `json:"job"`
+	Kind   string `json:"kind,omitempty"`
+	Status Status `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// sampleEvent is one recorded trace sample (single-cell scenario jobs).
+type sampleEvent struct {
+	Type     string    `json:"type"`
+	TimeS    float64   `json:"t_s"`
+	TempsC   []float64 `json:"temps_c"`
+	FreqsMHz []int     `json:"freqs_mhz"`
+	Utils    []float64 `json:"utils"`
+	PowerW   float64   `json:"power_w"`
+}
+
+// cellEvent is one completed grid cell (grid progress).
+type cellEvent struct {
+	Type       string   `json:"type"`
+	Scenario   string   `json:"scenario"`
+	Governor   string   `json:"governor"`
+	Passed     bool     `json:"passed"`
+	Violations []string `json:"violations,omitempty"`
+	ExecTimeS  float64  `json:"exec_time_s"`
+	EnergyJ    float64  `json:"energy_j"`
+	PeakTempC  float64  `json:"peak_temp_c"`
+}
+
+// streamEvent is the decode-side union of every stream line — what
+// clients (and the tests) unmarshal into.
+type streamEvent struct {
+	// Type is "start", "sample", "cell" or "done".
+	Type string `json:"type"`
+	Job  string `json:"job,omitempty"`
+	Kind string `json:"kind,omitempty"`
+
+	TimeS    float64   `json:"t_s,omitempty"`
+	TempsC   []float64 `json:"temps_c,omitempty"`
+	FreqsMHz []int     `json:"freqs_mhz,omitempty"`
+	Utils    []float64 `json:"utils,omitempty"`
+	PowerW   float64   `json:"power_w,omitempty"`
+
+	Scenario   string   `json:"scenario,omitempty"`
+	Governor   string   `json:"governor,omitempty"`
+	Passed     *bool    `json:"passed,omitempty"`
+	Violations []string `json:"violations,omitempty"`
+	ExecTimeS  float64  `json:"exec_time_s,omitempty"`
+	EnergyJ    float64  `json:"energy_j,omitempty"`
+	PeakTempC  float64  `json:"peak_temp_c,omitempty"`
+
+	Status Status `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (j *Job) publishStart() {
+	j.stream.publish(lifecycleEvent{Type: "start", Job: j.ID, Kind: j.Req.Kind})
+}
+
+// publishSample is the sim trace-subscriber hook: it serializes one
+// recorded sample as it is produced — no whole-run copy, the engine's
+// arena-backed slices are marshalled directly.
+func (j *Job) publishSample(s trace.Sample) {
+	j.stream.publish(sampleEvent{
+		Type:     "sample",
+		TimeS:    s.TimeS,
+		TempsC:   s.TempsC,
+		FreqsMHz: s.FreqsMHz,
+		Utils:    s.Utils,
+		PowerW:   s.PowerW,
+	})
+}
+
+// publishCell reports one completed grid cell (called from grid worker
+// goroutines; streamBuf serializes).
+func (j *Job) publishCell(r *scenario.Result) {
+	ev := cellEvent{
+		Type:       "cell",
+		Scenario:   r.Scenario,
+		Governor:   r.Governor,
+		Passed:     r.Passed(),
+		Violations: r.Violations,
+	}
+	if r.Sim != nil {
+		ev.ExecTimeS = r.Sim.ExecTimeS
+		ev.EnergyJ = r.Sim.EnergyJ
+		ev.PeakTempC = r.Sim.PeakTempC
+	}
+	j.stream.publish(ev)
+}
+
+func (j *Job) publishDone(st Status) {
+	j.mu.Lock()
+	errMsg := j.err
+	j.mu.Unlock()
+	j.stream.publish(lifecycleEvent{Type: "done", Job: j.ID, Status: st, Error: errMsg})
+}
+
+// Stream replays the job's telemetry from the beginning and follows it
+// live, invoking emit for every NDJSON-encoded line (newline included)
+// until the stream closes, emit fails, or ctx is cancelled. Multiple
+// concurrent streamers are independent; late subscribers see the full
+// history.
+func (j *Job) Stream(ctx context.Context, emit func(line []byte) error) error {
+	stop := context.AfterFunc(ctx, j.stream.wake)
+	defer stop()
+	i := 0
+	for {
+		lines, closed := j.stream.waitFrom(ctx, i)
+		for _, ln := range lines {
+			if err := emit(ln); err != nil {
+				return err
+			}
+		}
+		i += len(lines)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if closed && len(lines) == 0 {
+			return nil
+		}
+	}
+}

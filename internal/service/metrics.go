@@ -1,0 +1,134 @@
+package service
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the sliding window the latency percentiles are
+// computed over: the last latencyWindow finished jobs.
+const latencyWindow = 512
+
+// metrics are the service's operational counters, held as expvar types
+// so the daemon can publish them into the process-wide expvar registry
+// (/debug/vars) while tests run many isolated services without
+// colliding on the global namespace.
+type metrics struct {
+	queued    expvar.Int
+	running   expvar.Int
+	done      expvar.Int
+	failed    expvar.Int
+	cancelled expvar.Int
+	cacheHits expvar.Int
+
+	mu        sync.Mutex
+	latencies []float64 // seconds, ring of the last latencyWindow
+	latIdx    int
+}
+
+func newMetrics() *metrics {
+	return &metrics{latencies: make([]float64, 0, latencyWindow)}
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := d.Seconds()
+	if len(m.latencies) < latencyWindow {
+		m.latencies = append(m.latencies, s)
+		return
+	}
+	m.latencies[m.latIdx] = s
+	m.latIdx = (m.latIdx + 1) % latencyWindow
+}
+
+// percentile computes the p-quantile (0..1) of the latency window.
+func (m *metrics) percentile(p float64) float64 {
+	m.mu.Lock()
+	buf := append([]float64(nil), m.latencies...)
+	m.mu.Unlock()
+	if len(buf) == 0 {
+		return 0
+	}
+	sort.Float64s(buf)
+	i := int(p * float64(len(buf)-1))
+	return buf[i]
+}
+
+// Metrics is the read-only view of a service's counters.
+type Metrics struct{ m *metrics }
+
+// Queued/Running/Done/Failed/Cancelled/CacheHits read the counters.
+func (v *Metrics) Queued() int64    { return v.m.queued.Value() }
+func (v *Metrics) Running() int64   { return v.m.running.Value() }
+func (v *Metrics) Done() int64      { return v.m.done.Value() }
+func (v *Metrics) Failed() int64    { return v.m.failed.Value() }
+func (v *Metrics) Cancelled() int64 { return v.m.cancelled.Value() }
+func (v *Metrics) CacheHits() int64 { return v.m.cacheHits.Value() }
+
+// LatencyP50 and LatencyP99 are the job submit→finish latency
+// percentiles over the last latencyWindow finished jobs, in seconds.
+func (v *Metrics) LatencyP50() float64 { return v.m.percentile(0.50) }
+func (v *Metrics) LatencyP99() float64 { return v.m.percentile(0.99) }
+
+// vars returns the metric set as a JSON-marshalable map — served at
+// /metrics and published to expvar by PublishExpvar.
+func (v *Metrics) vars() map[string]any {
+	return map[string]any{
+		"jobs_queued":    v.Queued(),
+		"jobs_running":   v.Running(),
+		"jobs_done":      v.Done(),
+		"jobs_failed":    v.Failed(),
+		"jobs_cancelled": v.Cancelled(),
+		"cache_hits":     v.CacheHits(),
+		"latency_p50_s":  v.LatencyP50(),
+		"latency_p99_s":  v.LatencyP99(),
+	}
+}
+
+// ServeHTTP serves the metric set as JSON (the /metrics endpoint).
+func (v *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v.vars())
+}
+
+// publishOnce guards the process-global expvar namespace: the daemon
+// runs one Service, tests run many, and expvar.Publish panics on
+// duplicate names.
+var publishOnce sync.Once
+
+// PublishExpvar publishes the service's counters into the process-wide
+// expvar registry under "teemd.*" (visible at /debug/vars). Only the
+// first service in the process binds; later calls are no-ops — the
+// daemon use case, where exactly one service exists.
+func (v *Metrics) PublishExpvar() {
+	publishOnce.Do(func() {
+		m := v.m
+		for name, fn := range map[string]func() any{
+			"teemd.jobs_queued":    func() any { return m.queued.Value() },
+			"teemd.jobs_running":   func() any { return m.running.Value() },
+			"teemd.jobs_done":      func() any { return m.done.Value() },
+			"teemd.jobs_failed":    func() any { return m.failed.Value() },
+			"teemd.jobs_cancelled": func() any { return m.cancelled.Value() },
+			"teemd.cache_hits":     func() any { return m.cacheHits.Value() },
+			"teemd.latency_p50_s":  func() any { return m.percentile(0.50) },
+			"teemd.latency_p99_s":  func() any { return m.percentile(0.99) },
+		} {
+			expvar.Publish(name, expvar.Func(fn))
+		}
+	})
+}
+
+// String renders a one-line summary for logs.
+func (v *Metrics) String() string {
+	return fmt.Sprintf("queued=%d running=%d done=%d failed=%d cancelled=%d cache_hits=%d p50=%.3fs p99=%.3fs",
+		v.Queued(), v.Running(), v.Done(), v.Failed(), v.Cancelled(), v.CacheHits(),
+		v.LatencyP50(), v.LatencyP99())
+}

@@ -1,0 +1,300 @@
+// Package service hosts simulations as managed jobs behind an HTTP/JSON
+// API — the serving layer (teemd) over the batch engines below it.
+//
+// A job is one unit of simulation work: a single scenario (inline JSON,
+// preset name, or arrival-trace replay), a scenario × governor grid, or
+// a Fig. 5-style experiment. Jobs are submitted to a bounded worker pool
+// (internal/par.Pool — a full queue sheds load instead of building an
+// unbounded backlog), identified by sequential ids, cancellable at any
+// point (a running simulation aborts within one engine tick via the
+// context threaded down to sim.Config.Done), and observable three ways:
+// status polls, a rendered result that is byte-identical to the
+// equivalent teemscenario CLI run, and live NDJSON telemetry streamed
+// from the sim trace-subscriber hook as the engine ticks.
+//
+// Identical requests are collapsed by a request-hash single-flight cache
+// (par.Flight): concurrent duplicates share the one running job, and
+// repeats of a completed request are answered from the cache without
+// re-simulating. Failed or cancelled jobs are forgotten so a retry
+// re-executes.
+//
+// The service exports operational metrics (jobs queued/running/done/
+// failed/cancelled, cache hits, job-latency p50/p99) as expvar variables
+// and drains gracefully on shutdown: new submissions are rejected,
+// running jobs either finish or — past the drain deadline — are
+// cancelled.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"teem/internal/experiments"
+	"teem/internal/par"
+)
+
+// Options configure a Service.
+type Options struct {
+	// Workers bounds the number of concurrently executing jobs
+	// (0 = one per CPU). Each job may fan its own grid out further via
+	// JobRequest.Workers.
+	Workers int
+	// QueueDepth bounds the submitted-but-not-started backlog; a full
+	// queue rejects new jobs with ErrBusy (0 = 64).
+	QueueDepth int
+	// Env is the shared experiment environment for fig5 jobs (nil
+	// builds a default Exynos 5422 environment).
+	Env *experiments.Env
+	// KeepJobs bounds how many finished jobs are retained for status
+	// and result queries before the oldest are evicted (0 = 1024).
+	// Each retained job keeps its full telemetry history so late
+	// stream subscribers can replay it — size this bound to the
+	// telemetry volume you are willing to pin in memory.
+	KeepJobs int
+}
+
+// Service errors surfaced to transports.
+var (
+	// ErrBusy reports a submission rejected by admission control: the
+	// job queue is at capacity.
+	ErrBusy = errors.New("service: job queue is full")
+	// ErrClosed reports a submission after shutdown began.
+	ErrClosed = errors.New("service: shutting down")
+	// ErrNotFound reports an unknown job id.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrNotDone reports a result query on a job that has not finished.
+	ErrNotDone = errors.New("service: job has not finished")
+)
+
+// Service hosts simulation jobs. Build one with New; it is safe for
+// concurrent use by any number of transport goroutines.
+type Service struct {
+	env     *experiments.Env
+	pool    *par.Pool
+	metrics *metrics
+
+	mu     sync.Mutex
+	closed bool
+	nextID int
+	jobs   map[string]*Job
+	order  []string // submission order, for listing and eviction
+	// byKey names the job currently holding each request-cache key, so
+	// eviction never forgets a key a newer retained job owns.
+	byKey map[string]string
+	keep  int
+
+	flight par.Flight[string, *Job]
+}
+
+// New builds a Service and starts its worker pool.
+func New(o Options) (*Service, error) {
+	env := o.Env
+	if env == nil {
+		var err error
+		env, err = experiments.NewEnv()
+		if err != nil {
+			return nil, err
+		}
+	}
+	queue := o.QueueDepth
+	if queue <= 0 {
+		queue = 64
+	}
+	keep := o.KeepJobs
+	if keep <= 0 {
+		keep = 1024
+	}
+	return &Service{
+		env:     env,
+		pool:    par.NewPool(o.Workers, queue),
+		metrics: newMetrics(),
+		jobs:    make(map[string]*Job),
+		byKey:   make(map[string]string),
+		keep:    keep,
+	}, nil
+}
+
+// Submit validates and enqueues a job. Identical requests (same
+// normalized request hash) are collapsed: a concurrent or completed
+// duplicate returns the existing job with cached=true and no new
+// simulation work. A full queue returns ErrBusy; a draining service
+// ErrClosed.
+func (s *Service) Submit(req *JobRequest) (j *Job, cached bool, err error) {
+	norm, key, plan, err := s.normalize(req)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	s.mu.Unlock()
+	created := false
+	j, err = s.flight.Do(key, func() (*Job, error) {
+		nj := s.register(norm, key, plan)
+		if perr := s.pool.Submit(nj.run); perr != nil {
+			s.evict(nj)
+			if errors.Is(perr, par.ErrPoolFull) {
+				return nil, ErrBusy
+			}
+			if errors.Is(perr, par.ErrPoolClosed) {
+				return nil, ErrClosed
+			}
+			return nil, perr
+		}
+		created = true
+		return nj, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if !created {
+		s.metrics.cacheHits.Add(1)
+	}
+	return j, !created, nil
+}
+
+// register allocates the next job id, counts it queued, and indexes the
+// job; old finished jobs beyond the retention bound are evicted. An
+// evicted job's cache key is forgotten only while that job still owns it
+// — a newer retained job under the same key keeps its cache entry.
+func (s *Service) register(req *JobRequest, key string, plan *jobPlan) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j := newJob(fmt.Sprintf("j%d", s.nextID), req, key, s)
+	j.plan = plan
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.byKey[key] = j.ID
+	// The queued gauge rises before the pool can possibly start the
+	// job, so the worker's decrement never observes a stale zero.
+	s.metrics.queued.Add(1)
+	for len(s.order) > s.keep {
+		oldest := s.jobs[s.order[0]]
+		if oldest != nil && !oldest.Snapshot().Terminal() {
+			break // never evict live work
+		}
+		if oldest != nil {
+			delete(s.jobs, oldest.ID)
+			if s.byKey[oldest.key] == oldest.ID {
+				s.flight.Forget(oldest.key)
+				delete(s.byKey, oldest.key)
+			}
+		}
+		s.order = s.order[1:]
+	}
+	return j
+}
+
+// evict removes a job that never made it into the pool.
+func (s *Service) evict(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, j.ID)
+	if s.byKey[j.key] == j.ID {
+		delete(s.byKey, j.key)
+	}
+	if n := len(s.order); n > 0 && s.order[n-1] == j.ID {
+		s.order = s.order[:n-1]
+	}
+	s.metrics.queued.Add(-1)
+}
+
+// Job returns a job by id.
+func (s *Service) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// Jobs lists every retained job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job: a queued job never starts, a
+// running one aborts within one simulation tick. Cancelling a job that
+// already finished returns ErrNotDone's converse — a nil error and no
+// effect is wrong feedback, so it reports the terminal state instead.
+func (s *Service) Cancel(id string) error {
+	j, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	return j.RequestCancel()
+}
+
+// Counts reports the queued/running totals the health endpoint and the
+// drain loop read.
+func (s *Service) Counts() (queued, running int64) {
+	return s.metrics.queued.Value(), s.metrics.running.Value()
+}
+
+// Metrics exposes the service's operational counters.
+func (s *Service) Metrics() *Metrics { return &Metrics{m: s.metrics} }
+
+// Drain shuts the service down gracefully: new submissions are rejected
+// immediately, queued and running jobs are given until ctx expires to
+// finish, then everything still in flight is cancelled. It returns nil
+// when the pool drained in time and ctx.Err() otherwise.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.pool.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		// Also cancel the pool context: a job that registered
+		// concurrently with the shutdown and slipped past the
+		// cancelAll snapshot still sees a dead context the moment it
+		// starts, instead of simulating to completion.
+		s.pool.Close()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close shuts down immediately: submissions rejected, in-flight jobs
+// cancelled (both individually and through the pool context, so even a
+// submission racing the shutdown cannot run to completion), workers
+// joined.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancelAll()
+	s.pool.Close()
+}
+
+func (s *Service) cancelAll() {
+	for _, j := range s.Jobs() {
+		_ = j.RequestCancel() // terminal jobs report an error; ignore
+	}
+}
+
+// now is stubbed in tests that pin latencies.
+var now = time.Now

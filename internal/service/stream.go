@@ -1,0 +1,74 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+)
+
+// streamBuf is a job's telemetry log: an append-only sequence of
+// NDJSON-encoded lines. Publishers (the sim trace-subscriber hook, grid
+// cell hooks) append; any number of subscribers replay from an offset
+// and block for more — late subscribers get the full history, so a
+// stream opened after the job finished still serves every sample.
+type streamBuf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lines  [][]byte
+	closed bool
+}
+
+func newStreamBuf() *streamBuf {
+	b := &streamBuf{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// publish marshals one event and appends it as an NDJSON line. Events
+// that fail to marshal are dropped — the stream is telemetry, not the
+// system of record (the trace inside the job result is).
+func (b *streamBuf) publish(ev any) {
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	raw = append(raw, '\n')
+	b.mu.Lock()
+	if !b.closed {
+		b.lines = append(b.lines, raw)
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// close marks the end of the stream and wakes every subscriber.
+func (b *streamBuf) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// wake prods blocked subscribers so they can notice a cancelled context.
+func (b *streamBuf) wake() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// waitFrom returns the lines at and after offset i, blocking while the
+// stream is open and has nothing new. It returns immediately when ctx is
+// already cancelled (subscribers arrange a wake on cancellation). closed
+// reports whether no further lines will ever arrive; a (empty, closed)
+// return is the end-of-stream signal.
+func (b *streamBuf) waitFrom(ctx context.Context, i int) (lines [][]byte, closed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.lines) <= i && !b.closed && ctx.Err() == nil {
+		b.cond.Wait()
+	}
+	if len(b.lines) > i {
+		lines = b.lines[i:]
+	}
+	return lines, b.closed
+}

@@ -51,6 +51,10 @@ func TestTickZeroAllocs(t *testing.T) {
 // events allocation-free: event dispatch is a single integer compare on
 // ticks with nothing due.
 func TestTickZeroAllocsBetweenEvents(t *testing.T) {
+	// An armed cancellation channel: the per-tick abort poll (a
+	// non-blocking receive) must not cost an allocation either.
+	done := make(chan struct{})
+	defer close(done)
 	e, err := New(Config{
 		Platform: soc.Exynos5422(),
 		Net:      thermal.Exynos5422Network(),
@@ -58,6 +62,7 @@ func TestTickZeroAllocsBetweenEvents(t *testing.T) {
 		Map:      mapping.Mapping{Big: 3, Little: 2, UseGPU: true},
 		Part:     mapping.Partition{Num: 4, Den: 8},
 		MinTimeS: 600,
+		Done:     done,
 	})
 	if err != nil {
 		t.Fatal(err)

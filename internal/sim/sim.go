@@ -139,6 +139,21 @@ type Config struct {
 	// Integrator selects the thermal stepping scheme (default:
 	// IntegratorExact).
 	Integrator Integrator
+	// Done, when non-nil, makes the run cancellable: the engine polls
+	// the channel once per tick — a non-blocking receive, so the
+	// steady-state tick stays allocation-free — and aborts with an
+	// error wrapping ErrAborted within one tick of it closing. Wire a
+	// context's Done() channel here to cancel a simulation.
+	Done <-chan struct{}
+	// OnSample, when non-nil, is invoked synchronously for every trace
+	// sample the engine records, right after it is appended — the
+	// trace-subscriber hook streaming consumers build on: telemetry is
+	// delivered as the run ticks instead of copied out of a finished
+	// trace. The sample's slices are the trace's arena-backed storage —
+	// valid for the trace's lifetime and never rewritten, but shared:
+	// subscribers must not modify them. The hook runs on the simulation
+	// goroutine, so a slow subscriber slows the run.
+	OnSample func(s trace.Sample)
 }
 
 // JobFinish records the completion of one enqueued application.
@@ -814,6 +829,11 @@ func (e *Engine) CancelJob(id int) error {
 // already cancelled — a no-op departure, not a configuration error.
 var ErrJobNotActive = errors.New("sim: job is not active")
 
+// ErrAborted reports a run cancelled through Config.Done. Run returns it
+// (wrapped with the abort time) instead of a Result; callers distinguish
+// a cancelled simulation from a failed one with errors.Is.
+var ErrAborted = errors.New("sim: run aborted")
+
 // liveDoneFrac is the executed fraction of the live job's work-items.
 func (e *Engine) liveDoneFrac() float64 { return doneFrac(e.app, e.remCPU, e.remGPU) }
 
@@ -1078,6 +1098,15 @@ func (e *Engine) Run() (*Result, error) {
 // non-negative finishedAt is the in-tick offset at which the live job
 // completed.
 func (e *Engine) tick(dt float64) (finishedAt float64, err error) {
+	// Cancellation: one non-blocking receive per tick, so an abort is
+	// observed within a single simulation step.
+	if e.cfg.Done != nil {
+		select {
+		case <-e.cfg.Done:
+			return -1, fmt.Errorf("aborted at t=%gs: %w", e.TimeS(), ErrAborted)
+		default:
+		}
+	}
 	// Scheduled scenario events: one compare when none are due.
 	if e.evIdx < len(e.events) && e.events[e.evIdx].tick <= e.timeTicks {
 		if err := e.dispatchEvents(); err != nil {
@@ -1270,13 +1299,23 @@ func (e *Engine) stepThermal(dt float64) error {
 // buffers can be handed over directly.
 func (e *Engine) record(totalW float64) error {
 	e.therm.CopyTemps(e.recTemps)
-	return e.tr.Append(trace.Sample{
+	err := e.tr.Append(trace.Sample{
 		TimeS:    e.TimeS(),
 		TempsC:   e.recTemps,
 		FreqsMHz: e.freqs,
 		PowerW:   totalW,
 		Utils:    e.utils,
 	})
+	if err != nil {
+		return err
+	}
+	if e.cfg.OnSample != nil {
+		// Hand the subscriber the appended sample: its slices are the
+		// trace's arena-backed copies, stable for the trace's lifetime,
+		// so streaming needs no second copy.
+		e.cfg.OnSample(e.tr.Samples[len(e.tr.Samples)-1])
+	}
+	return nil
 }
 
 // SteadyTemps computes the equilibrium temperatures of a hypothetical

@@ -45,6 +45,7 @@ import (
 	"io"
 
 	"teem/internal/baseline"
+	"teem/internal/buildinfo"
 	"teem/internal/core"
 	"teem/internal/experiments"
 	"teem/internal/governor"
@@ -52,6 +53,7 @@ import (
 	"teem/internal/profile"
 	"teem/internal/regress"
 	"teem/internal/scenario"
+	"teem/internal/service"
 	"teem/internal/sim"
 	"teem/internal/soc"
 	"teem/internal/thermal"
@@ -457,3 +459,70 @@ func NewExperiments() (*Experiments, error) { return experiments.NewEnv() }
 func NewExperimentsWith(o ExperimentOptions) (*Experiments, error) {
 	return experiments.NewEnvWith(o)
 }
+
+// --- service (internal/service) ------------------------------------------------
+
+// Service hosts simulations as managed jobs behind an HTTP/JSON API —
+// the teemd daemon's engine. Jobs (single scenarios, scenario × governor
+// grids, Fig. 5 experiments) run on a bounded worker pool, are
+// cancellable within one simulation tick, stream live NDJSON telemetry
+// through the sim trace-subscriber hook, and collapse identical requests
+// onto one execution through a request-hash single-flight cache.
+type Service = service.Service
+
+// ServiceOptions configure a Service: worker-pool size, queued-job
+// admission bound, the shared experiment environment, and how many
+// finished jobs stay queryable.
+type ServiceOptions = service.Options
+
+// ServiceJob is one managed simulation inside a Service: poll it with
+// Snapshot, read a finished run with Result, follow live telemetry with
+// Stream, and abort it with RequestCancel.
+type ServiceJob = service.Job
+
+// JobRequest describes one unit of simulation work submitted to a
+// Service: an inline scenario, a recorded arrival trace, a preset name,
+// a preset grid, or a Fig. 5 mapping, plus governors and integrator.
+type JobRequest = service.JobRequest
+
+// JobStatus is the wire snapshot of a managed job: id, kind, lifecycle
+// state, timestamps, latency, error and result summary.
+type JobStatus = service.JobStatus
+
+// JobState is a managed job's lifecycle state (queued, running, done,
+// failed, cancelled).
+type JobState = service.Status
+
+// Managed-job lifecycle states.
+const (
+	JobQueued    = service.StatusQueued
+	JobRunning   = service.StatusRunning
+	JobDone      = service.StatusDone
+	JobFailed    = service.StatusFailed
+	JobCancelled = service.StatusCancelled
+)
+
+// Managed-job kinds for JobRequest.Kind.
+const (
+	JobKindScenario = service.KindScenario
+	JobKindGrid     = service.KindGrid
+	JobKindFig5     = service.KindFig5
+)
+
+// JobResultSummary is the machine-readable half of a finished job
+// (cells, Fig. 5 rows, assertion violations).
+type JobResultSummary = service.ResultSummary
+
+// ServiceMetrics is the read-only view of a Service's operational
+// counters: jobs queued/running/done/failed/cancelled, request-cache
+// hits, and job-latency p50/p99.
+type ServiceMetrics = service.Metrics
+
+// NewService builds a simulation service and starts its worker pool.
+// Serve its HTTP API with Service.Handler; shut it down with
+// Service.Drain (graceful) or Service.Close (immediate).
+func NewService(o ServiceOptions) (*Service, error) { return service.New(o) }
+
+// VersionString renders the build-identity banner (version, commit,
+// date, Go toolchain) every cmd/* binary prints for -version.
+func VersionString(binary string) string { return buildinfo.String(binary) }
