@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-json scenario-gate serve-smoke ci
+.PHONY: build vet fmt test race bench bench-json scenario-gate integrator-gate serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ bench:
 # BENCH_<date>.json — ns/op, B/op and allocs/op per benchmark. CI uploads
 # it as a non-gating artifact so the perf trajectory is tracked across PRs.
 BENCH_DATE := $(shell date -u +%Y-%m-%d)
-BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioPreempt|BenchmarkScenarioGrid|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto|BenchmarkServiceSubmit|BenchmarkServiceStream'
+BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioPreempt|BenchmarkScenarioGrid|BenchmarkScenarioReplaySparse|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto|BenchmarkServiceSubmit|BenchmarkServiceStream'
 bench-json:
 	$(GO) test -run='^$$' -bench=$(BENCH_CORE) -benchmem ./internal/sim ./internal/scenario ./internal/thermal ./internal/power ./internal/service . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
@@ -44,6 +44,14 @@ bench-json:
 scenario-gate:
 	$(GO) run ./cmd/teemscenario -govs ondemand,teem
 
+# Integrator-agreement gate (docs/integrators.md): the superstep
+# agreement suites must hold uncached, and the preset corpus must keep
+# its assertions under both -integrator modes — euler here, exact above
+# in scenario-gate (where supersteps are live by default).
+integrator-gate:
+	$(GO) test -count=1 -run 'TestSuperstep' ./internal/thermal ./internal/sim ./internal/scenario
+	$(GO) run ./cmd/teemscenario -govs ondemand,teem -integrator euler
+
 # Serving-path smoke gate: boot teemd on a random port, hit /healthz,
 # submit a preset scenario, stream its NDJSON telemetry, verify the
 # result is byte-identical to the teemscenario CLI, cancel a long run,
@@ -52,4 +60,4 @@ scenario-gate:
 serve-smoke:
 	$(GO) test ./cmd/teemd -run 'TestServeSmoke|TestLoadSubcommand' -count=1 -v
 
-ci: build vet fmt test race bench scenario-gate serve-smoke
+ci: build vet fmt test race bench scenario-gate integrator-gate serve-smoke

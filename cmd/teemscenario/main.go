@@ -17,6 +17,7 @@
 //	teemscenario -preset rush-hour -govs ondemand,teem
 //	teemscenario -f sunlight.json -govs teem -workers 4
 //	teemscenario -replay trace.json -govs teem
+//	teemscenario -preset sparse-replay -supersteps=false   # force tick-by-tick
 //	teemscenario -list
 //	teemscenario -preset sunlight -dump          # print the JSON schema by example
 package main
@@ -42,10 +43,11 @@ func main() {
 	var (
 		files      = flag.String("f", "", "comma-separated scenario JSON files")
 		replay     = flag.String("replay", "", "comma-separated recorded arrival-log JSON files to replay as scenarios")
-		preset     = flag.String("preset", "", "built-in scenario: sunlight, rush-hour, core-loss, preempt-storm, tenant-churn, replay-sample (empty with -f)")
+		preset     = flag.String("preset", "", "built-in scenario: sunlight, rush-hour, core-loss, preempt-storm, tenant-churn, replay-sample, sparse-replay (empty with -f)")
 		govs       = flag.String("govs", "", "comma-separated governors to grid over (default: the union of the scenarios' initial policies)")
 		workers    = flag.Int("workers", 0, "worker pool bound (0 = one per CPU, 1 = serial)")
 		integrator = flag.String("integrator", "exact", "thermal integrator: exact or euler")
+		supersteps = flag.Bool("supersteps", true, "jump provably steady intervals in one exact propagator application (exact integrator only)")
 		platPath   = flag.String("platform", "", "custom platform description (JSON) instead of the Exynos 5422")
 		netPath    = flag.String("thermal", "", "custom thermal network (JSON)")
 		list       = flag.Bool("list", false, "list built-in presets and governors, then exit")
@@ -120,7 +122,7 @@ func main() {
 		return
 	}
 
-	rc := scenario.Config{}
+	rc := scenario.Config{DisableSuperstep: !*supersteps}
 	switch *integrator {
 	case "exact":
 		rc.Integrator = sim.IntegratorExact

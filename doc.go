@@ -1,0 +1,73 @@
+// Package teem is a Go implementation of TEEM — online thermal- and
+// energy-efficiency management for CPU-GPU MPSoCs (Isuwa, Dey, Singh,
+// McDonald-Maier, DATE 2019) — together with every substrate the paper's
+// evaluation depends on: an Exynos 5422 platform model with cluster-wise
+// DVFS, a lumped-RC thermal simulator with TMU-style hardware protection,
+// a CMOS power model, analytic and real Polybench workloads, the Linux
+// ondemand governor, the EEMP and RMP comparison baselines, an R-style
+// linear-regression engine, and a harness that regenerates each table and
+// figure of the paper.
+//
+// # Quick start
+//
+//	plat := teem.Exynos5422()
+//	net := teem.Exynos5422Thermal()
+//	mgr, err := teem.NewManager(plat, net, teem.DefaultParams())
+//	if err != nil { ... }
+//	app := teem.Covariance()
+//	model, err := mgr.Profile(app)             // offline phase
+//	res, dec, err := mgr.Run(app, 35.0, 85.0)  // TREQ = 35 s, AT = 85 °C
+//	fmt.Println(res.ExecTimeS, res.EnergyJ, res.AvgTempC, dec.Part)
+//
+// The offline phase profiles the application across CPU mappings, fits
+// the paper's log-linear mapping model (Eq. 6) and stores it with the
+// measured ETGPU — two items instead of a 128-entry design-point table
+// (§V.D). The online phase selects the design point for a (TREQ, AT)
+// requirement, partitions work-items by Eq. (9), launches at maximum
+// frequency and regulates the A15 cluster around the 85 °C threshold in
+// 200 MHz steps with a 1400 MHz floor (Fig. 2).
+//
+// # Reproducing the paper
+//
+//	env, err := teem.NewExperiments()
+//	fig1, err := env.Fig1()        // motivation traces + summary
+//	m, err := env.ProfileApp("COVARIANCE")
+//	fmt.Println(m.TableI(), m.TableII(), m.Fig3(), m.Fig4())
+//	fig5, err := env.Fig5(teem.Mapping{Big: 4, Little: 2, UseGPU: true})
+//	fmt.Println(fig5.RenderEnergy())
+//
+// Custom platforms are plain data: describe clusters and OPP tables with
+// Platform, wire a thermal Network, and every governor, baseline and the
+// TEEM manager run unchanged (see examples/customplatform).
+//
+// # Architecture
+//
+// The repository is layered; each layer drives only the one below it,
+// and every surface (this facade, the CLIs, the teemd daemon) is a thin
+// shell over the same engines, so batch and served results are
+// byte-identical:
+//
+//	core      offline profiling (Manager.Profile fits the Eq. 6 mapping
+//	          model) and the online Controller, a sim.Governor that
+//	          regulates frequency around the ambient threshold
+//	sim       the co-simulation engine: a 10 ms tick loop over workload
+//	          progress, power and temperature, with DVFS governors, TMU
+//	          hardware protection, a preemptive job queue, ScheduleAt
+//	          hooks — and an event-horizon superstep scheduler that jumps
+//	          provably steady intervals in one propagator application
+//	          (see docs/integrators.md for the integrator contract)
+//	soc, thermal, power, workload
+//	          the platform substrate: cluster/OPP descriptions, the
+//	          lumped-RC network with exact and Euler integrators plus
+//	          affine superstep jump maps, the CMOS power model, analytic
+//	          and Polybench workload models
+//	scenario  declarative event timelines (arrivals, departures, ambient
+//	          ramps, governor switches) compiled onto the sim hooks, with
+//	          presets, trace replay and grid fan-out
+//	service   simulations as managed jobs: bounded worker pool, request
+//	          cache, cancellation, NDJSON telemetry — served by cmd/teemd
+//
+// Package teem re-exports the stable surface of these internal packages
+// as type aliases and constructor wrappers; go doc on the individual
+// internal packages documents each layer in depth.
+package teem

@@ -214,3 +214,31 @@ func (c *Conservative) Act(m sim.Machine) error {
 	}
 	return nil
 }
+
+// --- superstep purity markers -------------------------------------------------
+//
+// Every stock policy above decides from ClusterUtil and ClusterFreqMHz
+// alone — no sensors, no time, no internal state — so each implements
+// sim.UtilOnlyGovernor: an epoch that changed no frequency is a fixed
+// point, and the engine's event-horizon superstep may provably skip
+// further epochs while utilisations and frequencies hold. A policy that
+// reads anything else (like the sensor-driven TEEM controller) must not
+// carry this marker.
+
+// UtilOnly implements sim.UtilOnlyGovernor: performance requests the
+// platform maximum regardless of input.
+func (Performance) UtilOnly() bool { return true }
+
+// UtilOnly implements sim.UtilOnlyGovernor: powersave's Act is a no-op.
+func (Powersave) UtilOnly() bool { return true }
+
+// UtilOnly implements sim.UtilOnlyGovernor: userspace's Act is a no-op.
+func (*Userspace) UtilOnly() bool { return true }
+
+// UtilOnly implements sim.UtilOnlyGovernor: ondemand maps (utilisation,
+// current frequency) to a target OPP and nothing else.
+func (*Ondemand) UtilOnly() bool { return true }
+
+// UtilOnly implements sim.UtilOnlyGovernor: conservative steps one OPP
+// from (utilisation, current frequency) and keeps no other state.
+func (*Conservative) UtilOnly() bool { return true }

@@ -149,6 +149,50 @@ func (m *Model) ClusterPower(i int, l ClusterLoad) (dynW, leakW float64, err err
 	return dynW, leakW, nil
 }
 
+// ClusterPowerAffine decomposes cluster i's power under load l into its
+// temperature-affine form: for junction temperatures at or above the
+// 25 °C leakage reference,
+//
+//	P(T) = dynW + leakConstW + leakSlopeWPerC·T,
+//
+// with leakConstW = base·(1 − 25·LeakTempCoeff) and leakSlopeWPerC =
+// base·LeakTempCoeff where base = OnCores·LeakCoeff·V². The decomposition
+// reconstructs ClusterPower exactly for T ≥ 25 °C; below the reference
+// the true leakage is the constant base (the temperature term clamps to
+// zero) and the affine form overestimates, so callers — the simulator's
+// superstep planner — must hold trajectories to the T ≥ 25 °C regime or
+// fall back to per-tick evaluation. l.TempC is ignored.
+func (m *Model) ClusterPowerAffine(i int, l ClusterLoad) (dynW, leakConstW, leakSlopeWPerC float64, err error) {
+	if i < 0 || i >= len(m.plat.Clusters) {
+		return 0, 0, 0, fmt.Errorf("power: cluster index %d out of range", i)
+	}
+	c := &m.plat.Clusters[i]
+	if l.ActiveCores < 0 || l.OnCores < l.ActiveCores || l.OnCores > c.NumCores {
+		return 0, 0, 0, fmt.Errorf("power: cluster %s: invalid core counts active=%d on=%d (max %d)",
+			c.Name, l.ActiveCores, l.OnCores, c.NumCores)
+	}
+	if l.Utilization < 0 || l.Utilization > 1 {
+		return 0, 0, 0, fmt.Errorf("power: cluster %s: utilization %g outside [0,1]", c.Name, l.Utilization)
+	}
+	act := l.Activity
+	if act == 0 {
+		act = 1
+	}
+	if act < 0 || act > 1 {
+		return 0, 0, 0, fmt.Errorf("power: cluster %s: activity %g outside (0,1]", c.Name, act)
+	}
+	v := l.VoltV
+	if v == 0 {
+		v = m.voltageFor(i, l.FreqMHz)
+	}
+	fHz := float64(l.FreqMHz) * 1e6
+	dynW = float64(l.ActiveCores) * c.CdynCoreNF * 1e-9 * v * v * fHz * l.Utilization * act
+	base := float64(l.OnCores) * c.LeakCoeff * v * v
+	leakSlopeWPerC = base * c.LeakTempCoeff
+	leakConstW = base - 25*leakSlopeWPerC
+	return dynW, leakConstW, leakSlopeWPerC, nil
+}
+
 // Evaluate computes the full board power breakdown. loads must have one
 // entry per platform cluster; memGBs is the aggregate DRAM traffic in GB/s.
 func (m *Model) Evaluate(loads []ClusterLoad, memGBs float64) (*Breakdown, error) {

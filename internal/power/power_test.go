@@ -307,3 +307,55 @@ func TestVoltageMemoMatchesScan(t *testing.T) {
 		}
 	}
 }
+
+// The affine decomposition must reconstruct ClusterPower exactly for any
+// junction temperature at or above the 25 °C leakage reference:
+// leak(T) = leakConst + slope·T, dyn identical.
+func TestClusterPowerAffineReconstructs(t *testing.T) {
+	m := newModel(t)
+	loads := []ClusterLoad{
+		{FreqMHz: 2000, ActiveCores: 4, OnCores: 4, Utilization: 1, Activity: 0.7},
+		{FreqMHz: 1400, ActiveCores: 2, OnCores: 4, Utilization: 0.6},
+		{FreqMHz: 600, ActiveCores: 0, OnCores: 4, Utilization: 0},
+	}
+	for i := range m.Platform().Clusters {
+		for _, l := range loads {
+			if l.OnCores > m.Platform().Clusters[i].NumCores {
+				continue
+			}
+			dynA, lkc, lks, err := m.ClusterPowerAffine(i, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lks < 0 {
+				t.Fatalf("cluster %d: negative leakage slope %g", i, lks)
+			}
+			for _, temp := range []float64{25, 40, 85.5, 110} {
+				lt := l
+				lt.TempC = temp
+				dyn, leak, err := m.ClusterPower(i, lt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dyn != dynA {
+					t.Fatalf("cluster %d T=%g: dyn %g vs affine %g", i, temp, dyn, dynA)
+				}
+				if got := lkc + lks*temp; math.Abs(got-leak) > 1e-12*math.Max(1, leak) {
+					t.Fatalf("cluster %d T=%g: leak %g vs affine %g", i, temp, leak, got)
+				}
+			}
+		}
+	}
+}
+
+// The affine form shares ClusterPower's validation.
+func TestClusterPowerAffineValidation(t *testing.T) {
+	m := newModel(t)
+	if _, _, _, err := m.ClusterPowerAffine(99, ClusterLoad{}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	bad := ClusterLoad{FreqMHz: 1000, ActiveCores: 3, OnCores: 2, Utilization: 0.5}
+	if _, _, _, err := m.ClusterPowerAffine(0, bad); err == nil {
+		t.Error("invalid core counts accepted")
+	}
+}

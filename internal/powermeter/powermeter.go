@@ -70,6 +70,19 @@ func (m *Meter) Observe(tS, powerW float64) error {
 	return nil
 }
 
+// NextSampleAtS returns the time of the next sampling instant: the
+// earliest tS at which Observe would latch a sample (0 before the first
+// observation — the device samples at t=0). Simulation loops that skip
+// ahead use it to land a real evaluation on every sampling instant, so a
+// jumped run feeds the meter the same waveform values a per-tick run
+// would.
+func (m *Meter) NextSampleAtS() float64 {
+	if !m.started {
+		return 0
+	}
+	return m.nextAt
+}
+
 func (m *Meter) quantize(p float64) float64 {
 	if m.ResolutionW <= 0 {
 		return p

@@ -51,3 +51,41 @@ func BenchmarkScenarioGrid(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScenarioReplaySparse measures the event-horizon superstep
+// path on its canonical workload: the sparse-replay trace, where four
+// short jobs punctuate a ten-minute horizon of idle. Nearly every tick
+// lies in a provably steady interval, so the engine jumps them in
+// precomputed propagator applications (see docs/integrators.md). Pairs
+// with BenchmarkScenarioReplaySparseFixed for the speedup ratio tracked
+// in BENCH_<date>.json.
+func BenchmarkScenarioReplaySparse(b *testing.B) {
+	sc := SparseReplay()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(sc, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Sim.Completed {
+			b.Fatal("sparse replay did not complete")
+		}
+	}
+}
+
+// BenchmarkScenarioReplaySparseFixed runs the same sparse-replay trace
+// with supersteps disabled — the per-tick baseline the superstep path is
+// measured against.
+func BenchmarkScenarioReplaySparseFixed(b *testing.B) {
+	sc := SparseReplay()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(sc, Config{DisableSuperstep: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Sim.Completed {
+			b.Fatal("sparse replay did not complete")
+		}
+	}
+}

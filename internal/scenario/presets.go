@@ -123,16 +123,40 @@ func ReplaySample() *Scenario {
 	return s
 }
 
+// SparseReplay is the duty-cycled trace of the corpus: four short jobs
+// spread over a ten-minute horizon, so the device idles for minutes
+// between arrivals. It is the canonical workload for the event-horizon
+// superstep path (see docs/integrators.md) — almost every tick sits in a
+// provably steady interval — and the fixture behind
+// BenchmarkScenarioReplaySparse.
+func SparseReplay() *Scenario {
+	s, err := FromTrace(&ArrivalTrace{
+		Name:     "sparse-replay",
+		HorizonS: 600,
+		Records: []TraceRecord{
+			{App: "COVARIANCE", AtS: 0},
+			{App: "MVT", AtS: 120},
+			{App: "GEMM", AtS: 300, Priority: 1},
+			{App: "SYRK", AtS: 480},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // Presets returns the built-in scenario corpus in stable order.
 func Presets() []*Scenario {
 	return []*Scenario{
 		Sunlight(), RushHour(), CoreLoss(),
 		PreemptStorm(), MultiTenantChurn(), ReplaySample(),
+		SparseReplay(),
 	}
 }
 
 // PresetByName resolves a preset ("sunlight", "rush-hour", "core-loss",
-// "preempt-storm", "tenant-churn", "replay-sample").
+// "preempt-storm", "tenant-churn", "replay-sample", "sparse-replay").
 func PresetByName(name string) *Scenario {
 	for _, s := range Presets() {
 		if s.Name == name {

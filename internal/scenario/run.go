@@ -54,6 +54,11 @@ type Config struct {
 	MaxTimeS float64
 	// Integrator selects the thermal stepping scheme.
 	Integrator sim.Integrator
+	// DisableSuperstep forces the classic tick-by-tick loop instead of
+	// the event-horizon fast path (see sim.Config.DisableSuperstep) —
+	// mainly for reference timings and debugging; results agree to
+	// floating-point rounding either way.
+	DisableSuperstep bool
 	// InitialTempsC presets the chip state (default: ambient).
 	InitialTempsC []float64
 	// OnSample, when non-nil, receives every trace sample as the engine
@@ -142,17 +147,18 @@ func RunCtx(ctx context.Context, sc *Scenario, rc Config) (*Result, error) {
 		maxTime = horizon
 	}
 	cfg := sim.Config{
-		Platform:      plat,
-		Net:           net,
-		Map:           sc.Map,
-		Governor:      mk(),
-		TickS:         tick,
-		MaxTimeS:      maxTime,
-		MinTimeS:      horizon,
-		Integrator:    rc.Integrator,
-		InitialTempsC: rc.InitialTempsC,
-		Done:          ctx.Done(),
-		OnSample:      rc.OnSample,
+		Platform:         plat,
+		Net:              net,
+		Map:              sc.Map,
+		Governor:         mk(),
+		TickS:            tick,
+		MaxTimeS:         maxTime,
+		MinTimeS:         horizon,
+		Integrator:       rc.Integrator,
+		DisableSuperstep: rc.DisableSuperstep,
+		InitialTempsC:    rc.InitialTempsC,
+		Done:             ctx.Done(),
+		OnSample:         rc.OnSample,
 	}
 	e, err := sim.New(cfg)
 	if err != nil {
@@ -337,7 +343,13 @@ func RunCtx(ctx context.Context, sc *Scenario, rc Config) (*Result, error) {
 				res.Violations = append(res.Violations, fmt.Sprintf("final: unknown node %q", fc.Node))
 				continue
 			}
-			if peak := sr.Trace.PeakTemp(n); peak > fc.PeakMaxC {
+			// Exact per-tick peak (trace samples coarsen inside
+			// superstepped intervals; see docs/integrators.md).
+			peak := sr.Trace.PeakTemp(n)
+			if n < len(sr.PeakTempsC) {
+				peak = sr.PeakTempsC[n]
+			}
+			if peak > fc.PeakMaxC {
 				res.Violations = append(res.Violations,
 					fmt.Sprintf("final: %s peak %.2f °C exceeds %.2f °C", fc.Node, peak, fc.PeakMaxC))
 			}

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+// Corpus-wide integrator-agreement gate (docs/integrators.md): every
+// preset, under both a util-only baseline and the sensor-driven TEEM
+// policy, must produce the same scheduling decisions, the same meter
+// energy to machine precision, and temperatures within floating-point
+// rounding whether steady intervals are superstepped or ticked. The
+// trace legitimately coarsens inside jumps, so trace-derived thermal
+// aggregates are held to the documented 0.01 °C bound instead.
+func TestSuperstepPresetCorpusAgreement(t *testing.T) {
+	for _, sc := range Presets() {
+		for _, gov := range []string{"ondemand", "teem"} {
+			t.Run(sc.Name+"/"+gov, func(t *testing.T) {
+				rJ, err := Run(sc, Config{Governor: gov})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rF, err := Run(sc, Config{Governor: gov, DisableSuperstep: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sJ, sF := rJ.Sim, rF.Sim
+				if sJ.Completed != sF.Completed {
+					t.Errorf("Completed: superstep %v vs fixed %v", sJ.Completed, sF.Completed)
+				}
+				if sJ.ExecTimeS != sF.ExecTimeS {
+					t.Errorf("ExecTimeS: superstep %g vs fixed %g", sJ.ExecTimeS, sF.ExecTimeS)
+				}
+				// The energy-accounting regression gate: superstep jumps are
+				// capped at meter sampling instants, so the sampled waveform
+				// — and with it the integrated energy — is identical.
+				if sJ.EnergyJ != sF.EnergyJ {
+					t.Errorf("EnergyJ: superstep %.15g vs fixed %.15g", sJ.EnergyJ, sF.EnergyJ)
+				}
+				if sJ.AvgPowerW != sF.AvgPowerW {
+					t.Errorf("AvgPowerW: superstep %.15g vs fixed %.15g", sJ.AvgPowerW, sF.AvgPowerW)
+				}
+				if sJ.FreqTransitions != sF.FreqTransitions {
+					t.Errorf("FreqTransitions: superstep %d vs fixed %d", sJ.FreqTransitions, sF.FreqTransitions)
+				}
+				if sJ.ThrottleEvents != sF.ThrottleEvents {
+					t.Errorf("ThrottleEvents: superstep %d vs fixed %d", sJ.ThrottleEvents, sF.ThrottleEvents)
+				}
+				if len(sJ.JobFinishes) != len(sF.JobFinishes) {
+					t.Fatalf("JobFinishes: superstep %d vs fixed %d", len(sJ.JobFinishes), len(sF.JobFinishes))
+				}
+				for i := range sJ.JobFinishes {
+					if sJ.JobFinishes[i] != sF.JobFinishes[i] {
+						t.Errorf("JobFinishes[%d]: superstep %+v vs fixed %+v", i, sJ.JobFinishes[i], sF.JobFinishes[i])
+					}
+				}
+				if d := math.Abs(sJ.PeakTempC - sF.PeakTempC); d > 1e-9 {
+					t.Errorf("PeakTempC: |Δ|=%.3g beyond rounding", d)
+				}
+				if d := math.Abs(sJ.AvgTempC - sF.AvgTempC); d > 0.01 {
+					t.Errorf("AvgTempC: superstep %.6g vs fixed %.6g (|Δ|=%.3g > 0.01)", sJ.AvgTempC, sF.AvgTempC, d)
+				}
+				if !rJ.Passed() || !rF.Passed() {
+					t.Errorf("assertion outcomes differ or fail: superstep %v fixed %v", rJ.Violations, rF.Violations)
+				}
+			})
+		}
+	}
+}

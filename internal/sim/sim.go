@@ -14,6 +14,19 @@
 // sensor lookups are index maps built once at New, and the trace and
 // meter are pre-sized for the configured run length.
 //
+// On top of the fixed-tick loop sits an event-horizon superstep
+// scheduler: when the operating point is provably steady — no due
+// events, no governor epoch whose decision could change, no meter
+// sampling instant, no thermal-trip or leakage-regime crossing inside
+// the interval — the engine replays the whole interval in one affine
+// propagator application (thermal.Superstep) instead of ticking through
+// it, then falls back to fixed ticks whenever any of those guards
+// cannot certify the jump. The jump is the tick loop's own arithmetic
+// reassociated, so scheduling decisions and sampled energy are
+// bit-identical and temperatures agree to floating-point rounding; the
+// full integrator contract is docs/integrators.md. Disable with
+// Config.DisableSuperstep to force tick-by-tick execution.
+//
 // Beyond single static runs the engine exposes the hooks the scenario
 // subsystem (internal/scenario) is built on: callbacks scheduled at tick
 // granularity (ScheduleAt), a priority-aware preemptive job queue on top
@@ -139,6 +152,14 @@ type Config struct {
 	// Integrator selects the thermal stepping scheme (default:
 	// IntegratorExact).
 	Integrator Integrator
+	// DisableSuperstep turns off the event-horizon fast path that jumps
+	// provably steady intervals (idle gaps, constant busy stretches) in a
+	// single exact propagator application. Supersteps are on by default
+	// with the exact integrator and reproduce the fixed-tick trajectory
+	// to floating-point rounding; disable them to force the classic
+	// tick-by-tick loop (reference runs, debugging). Euler runs never
+	// superstep. See docs/integrators.md for the legality contract.
+	DisableSuperstep bool
 	// Done, when non-nil, makes the run cancellable: the engine polls
 	// the channel once per tick — a non-blocking receive, so the
 	// steady-state tick stays allocation-free — and aborts with an
@@ -193,9 +214,14 @@ type Result struct {
 	EnergyJ   float64
 	AvgPowerW float64
 	// AvgTempC/PeakTempC are for the hottest monitored cluster node
-	// (big CPU), matching the paper's reporting.
+	// (big CPU), matching the paper's reporting. AvgTempC is a
+	// trace-derived time-weighted mean; PeakTempC is the exact per-tick
+	// maximum, independent of the trace sampling period.
 	AvgTempC  float64
 	PeakTempC float64
+	// PeakTempsC is the exact per-tick whole-run maximum of every
+	// thermal node, indexed like the network's nodes.
+	PeakTempsC []float64
 	// TempVarC2 is the temporal variance of the big-cluster
 	// temperature; TempGradCps the mean |dT/dt|.
 	TempVarC2   float64
@@ -288,6 +314,36 @@ type Engine struct {
 	events []schedEvent
 	evIdx  int
 
+	// event-horizon superstepping (superstep.go): ss is the affine jump
+	// map of the current leakage-slope vector, drawn from ssPool — a
+	// small recency pool keyed by slope, so alternating operating points
+	// (busy ↔ idle) reuse their maps instead of rebuilding them.
+	// ssOpLoads/ssOpMemGBs fingerprint the operating point whose affine
+	// decomposition sits in ssInj/ssSlopeCur (valid when ssOpValid):
+	// a jump attempt at the same point skips the power model entirely.
+	// ssLoads is per-attempt scratch; ssOff latches the fast path off
+	// (config knob, Euler runs, or an uncertifiable system). govPure
+	// marks a UtilOnlyGovernor; govStable that its last epoch changed
+	// nothing, with govUtils the utilisations that epoch saw — together
+	// the fixed-point certificate that lets a jump cross control periods.
+	ss         *thermal.Superstep
+	ssPool     []*thermal.Superstep
+	ssSlopeCur []float64
+	ssInj      []float64
+	ssLoads    []power.ClusterLoad
+	ssOpLoads  []power.ClusterLoad
+	ssOpMemGBs float64
+	ssOpValid  bool
+	// ssSkipUntil suppresses jump attempts below this tick: a probe that
+	// reported a mixed trajectory direction stays mixed while the system
+	// hovers near equilibrium, so re-probing every tick until the next
+	// horizon boundary would pay the full guard cost for nothing.
+	ssSkipUntil int
+	ssOff       bool
+	govPure     bool
+	govStable   bool
+	govUtils    []float64
+
 	running        bool
 	jobFinishes    []JobFinish
 	jobCancels     []JobCancel
@@ -301,6 +357,12 @@ type Engine struct {
 	preThrottleMHz int
 	peakBigC       float64
 	peakTemps      []float64
+	// peakC is the per-node running maximum over every simulated tick —
+	// the exact whole-run peaks Result and the scenario assertions
+	// report. Superstep jumps maintain it from their endpoints, which the
+	// monotone trajectory direction makes exact (a rising jump's interior
+	// is bounded by its landing state, a falling one by its start).
+	peakC []float64
 }
 
 // pendingJob is one queued job: a fresh arrival awaiting its first start,
@@ -452,6 +514,13 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.inj = make([]float64, len(cfg.Net.Nodes))
 	e.recTemps = make([]float64, len(cfg.Net.Nodes))
+	e.peakC = make([]float64, len(cfg.Net.Nodes))
+	e.ssSlopeCur = make([]float64, len(cfg.Net.Nodes))
+	e.ssInj = make([]float64, len(cfg.Net.Nodes))
+	e.ssLoads = make([]power.ClusterLoad, len(cfg.Platform.Clusters))
+	e.ssOpLoads = make([]power.ClusterLoad, len(cfg.Platform.Clusters))
+	e.govUtils = make([]float64, len(cfg.Platform.Clusters))
+	e.ssOff = cfg.DisableSuperstep
 	e.ratesDirty = true
 	setDefault := func(idx, req int) {
 		c := &e.plat.Clusters[idx]
@@ -547,11 +616,13 @@ func (e *Engine) rebuildLoads() {
 }
 
 // setFreq is the single write path for cluster frequencies: it refreshes
-// the cached rail voltage and invalidates the cached work-item rates.
+// the cached rail voltage, invalidates the cached work-item rates and
+// voids the governor's superstep fixed-point certificate.
 func (e *Engine) setFreq(i, mhz int) {
 	e.freqs[i] = mhz
 	e.volts[i] = e.plat.Clusters[i].VoltageAt(mhz)
 	e.ratesDirty = true
+	e.govStable = false
 }
 
 // rates returns the roofline work-item rates of the live app at the
@@ -890,6 +961,8 @@ func (e *Engine) startJob(j pendingJob) error {
 // if the kernel had just swapped cpufreq governors.
 func (e *Engine) SetGovernor(g Governor) error {
 	e.cfg.Governor = g
+	e.govPure = govIsPure(g)
+	e.govStable = false
 	if g == nil {
 		e.govEvery = 0
 		return nil
@@ -991,6 +1064,7 @@ func (e *Engine) Run() (*Result, error) {
 		e.utils[e.gpuIdx] = 1
 	}
 	e.govEvery = 0
+	e.govPure = govIsPure(e.cfg.Governor)
 	if e.cfg.Governor != nil {
 		p := e.cfg.Governor.PeriodS()
 		if p <= 0 {
@@ -1014,7 +1088,19 @@ func (e *Engine) Run() (*Result, error) {
 	maxTicks := int(e.cfg.MaxTimeS/dt + 0.5)
 	minTicks := int(e.cfg.MinTimeS/dt + 0.5)
 
-	for ; e.timeTicks < maxTicks; e.timeTicks++ {
+	for e.timeTicks < maxTicks {
+		// Event-horizon fast path: replay a provably steady interval in
+		// one exact affine application instead of tick-by-tick. A
+		// declined jump (any legality guard failed) falls through to the
+		// ordinary tick below.
+		if jumped, err := e.superstep(dt, maxTicks, minTicks); err != nil {
+			return nil, err
+		} else if jumped {
+			if e.drained() && e.timeTicks >= minTicks {
+				break
+			}
+			continue
+		}
 		finishedAt, err := e.tick(dt)
 		if err != nil {
 			return nil, err
@@ -1034,12 +1120,12 @@ func (e *Engine) Run() (*Result, error) {
 				}
 			}
 		}
-		if e.app == nil && e.QueuedJobs() == 0 && e.evIdx >= len(e.events) && e.timeTicks+1 >= minTicks {
-			e.timeTicks++
+		e.timeTicks++
+		if e.drained() && e.timeTicks >= minTicks {
 			break
 		}
 	}
-	completed := e.app == nil && e.QueuedJobs() == 0 && e.evIdx >= len(e.events)
+	completed := e.drained()
 	// ExecTimeS is the time workload execution last stopped: the final
 	// job finish, or a later live-job cancellation (the engine executed
 	// — and charged energy for — that job's work until the drop).
@@ -1079,7 +1165,8 @@ func (e *Engine) Run() (*Result, error) {
 		EnergyJ:         e.meter.EnergyJ(),
 		AvgPowerW:       e.meter.AvgPowerW(),
 		AvgTempC:        e.tr.AvgTemp(bigNode),
-		PeakTempC:       e.tr.PeakTemp(bigNode),
+		PeakTempC:       e.peakC[bigNode],
+		PeakTempsC:      append([]float64(nil), e.peakC...),
 		TempVarC2:       e.tr.TempVariance(bigNode),
 		TempGradCps:     e.tr.TempGradient(bigNode),
 		AvgBigFreqMHz:   e.tr.AvgFreqMHz(e.bigIdx),
@@ -1118,11 +1205,17 @@ func (e *Engine) tick(dt float64) (finishedAt float64, err error) {
 	if !e.cfg.DisableHWProtect {
 		e.hwProtect()
 	}
-	// Governor control step.
+	// Governor control step. An epoch of a util-only policy that changed
+	// no frequency is a fixed point: record the utilisations it saw so
+	// supersteps may cross later epochs while they (and the frequencies,
+	// guarded by setFreq) stay unchanged.
 	if e.govEvery > 0 && e.timeTicks%e.govEvery == 0 {
+		pre := e.transitions
+		copy(e.govUtils, e.utils)
 		if err := e.cfg.Governor.Act(e); err != nil {
 			return -1, err
 		}
+		e.govStable = e.govPure && e.transitions == pre
 	}
 	// Advance workload. Only clusters the live mapping uses report the
 	// CPU busy fraction: governors must see idle silicon as idle, not
@@ -1152,6 +1245,11 @@ func (e *Engine) tick(dt float64) (finishedAt float64, err error) {
 			e.peakTemps = make([]float64, len(e.cfg.Net.Nodes))
 		}
 		e.therm.CopyTemps(e.peakTemps)
+	}
+	for i := range e.peakC {
+		if t := e.therm.Temp(i); t > e.peakC[i] {
+			e.peakC[i] = t
+		}
 	}
 	total := e.bd.TotalW()
 	if err := e.meter.Observe(e.TimeS(), total); err != nil {

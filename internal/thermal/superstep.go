@@ -1,0 +1,278 @@
+// Event-horizon superstepping. A fixed-tick run applies the per-tick
+// recurrence
+//
+//	T[k+1] = A·T[k] + Bp·P(T[k]) + ambGain·Tamb,
+//
+// where the injected power P is affine in temperature whenever the
+// operating point (frequencies, voltages, utilisations, mapping, ambient)
+// is constant: dynamic, DRAM and baseline power are fixed, and leakage is
+// base·(1 + c·(T−25)) — linear in T above 25 °C. Folding the per-node
+// leakage slope s (W/°C) into the propagator gives an affine map
+//
+//	T[k+1] = Ã·T[k] + b̃,   Ã = A + Bp·diag(s),
+//	b̃ = Bp·Pconst + ambGain·Tamb,
+//
+// whose n-fold application has the closed form
+//
+//	T[k+n] = Ãⁿ·T[k] + Sₙ·b̃,   Sₙ = Σ_{j<n} Ãʲ.
+//
+// A Superstep precomputes (Ãⁿ, Sₙ) pairs by binary powering and replays n
+// ticks in one matrix-vector application — the same arithmetic the tick
+// loop would have performed, reassociated, so the jump agrees with fixed
+// stepping to floating-point rounding (~1e-13 °C), not to a model error.
+//
+// Because Ã is entrywise non-negative (the propagator of a Metzler RC
+// system plus a non-negative leakage feedback), temperature increments
+// keep their sign under the map: a trajectory that starts rising rises
+// for the whole jump, one that starts falling keeps falling. Jump reports
+// that direction, which lets the caller validate interior-state
+// constraints (thermal trip thresholds, the T ≥ 25 °C leakage regime)
+// from the two endpoints alone.
+
+package thermal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// ssPair is one precomputed power-of-two jump block: p = Ã^(2^k) and
+// s = Σ_{j<2^k} Ãʲ, flat row-major n×n. Read-only after construction, so
+// pairs are shared freely across Supersteps of the same (system, dt,
+// slope). Jump decomposes an arbitrary horizon into these blocks and
+// applies them to the temperature vector directly — matrix-vector work
+// per jump, matrix-matrix work only once per block.
+type ssPair struct {
+	p, s []float64
+}
+
+// superCache maps (conductance system, dt, leakage slope, block
+// exponent k) — see Superstep.keyPre — to its jump block, so repeated
+// runs over the same platform (service jobs, benchmark campaigns) reuse
+// the powered propagators the way propCache reuses the per-tick ones.
+// Bounded like propCache; a warm Superstep hits its per-instance table
+// first and never touches this cache.
+var (
+	superCache      sync.Map
+	superCacheCount atomic.Int64
+)
+
+const superCacheLimit = 1024
+
+// Superstep jumps a model across n identical ticks of its Stepper in one
+// affine application. It is bound to one leakage-slope vector; build a
+// new Superstep when a DVFS or mapping change alters the slopes. Not safe
+// for concurrent use.
+type Superstep struct {
+	st    *Stepper
+	slope []float64
+	// at is Ã = A + Bp·diag(slope), flat row-major n×n.
+	at []float64
+	// blocks memoises the power-of-two jump blocks per instance (index k
+	// holds the 2^k-tick block); keyPre prefixes the process-wide
+	// superCache key (system + dt + slope).
+	blocks []*ssPair
+	keyPre string
+	// scratch: b̃, the one-tick image (for the direction probe) and the
+	// planned end temperatures.
+	bvec, t1, tn []float64
+	planned      bool
+}
+
+// NewSuperstep builds the affine jump map for the stepper's system and
+// the given per-node leakage slope (W/°C, entries ≥ 0). The slope vector
+// is copied.
+func NewSuperstep(st *Stepper, slopeWPerC []float64) (*Superstep, error) {
+	n := st.m.n
+	if len(slopeWPerC) != n {
+		return nil, fmt.Errorf("thermal: superstep got %d slopes, want %d", len(slopeWPerC), n)
+	}
+	at := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if slopeWPerC[j] < 0 {
+				return nil, fmt.Errorf("thermal: negative leakage slope %g on node %d", slopeWPerC[j], j)
+			}
+			v := st.a[i*n+j] + st.bp[i*n+j]*slopeWPerC[j]
+			// The monotonicity contract needs Ã ≥ 0. Entries of A and Bp
+			// are non-negative for a physical RC system up to the rounding
+			// dust of the matrix exponential; anything clearly negative
+			// means the system is not one this optimisation understands.
+			if v < -1e-12 {
+				return nil, fmt.Errorf("thermal: superstep propagator not monotone (entry %d,%d = %g)", i, j, v)
+			}
+			at[i*n+j] = v
+		}
+	}
+	key := make([]byte, 0, len(st.m.g)*8+64)
+	key = append(key, propKey(st.m, st.dt)...)
+	for _, v := range slopeWPerC {
+		key = binary.LittleEndian.AppendUint64(key, math.Float64bits(v))
+	}
+	return &Superstep{
+		st:     st,
+		slope:  append([]float64(nil), slopeWPerC...),
+		at:     at,
+		keyPre: string(key),
+		bvec:   make([]float64, n),
+		t1:     make([]float64, n),
+		tn:     make([]float64, n),
+	}, nil
+}
+
+// Slope returns the leakage-slope vector the map was built for (read-only).
+func (ss *Superstep) Slope() []float64 { return ss.slope }
+
+// Jump plans an n-tick advance of the bound model under the constant
+// power injection constInjW (per node, watts — the temperature-independent
+// part; the leakage slopes are already folded into the map). It does not
+// modify the model: endTemps is the planned state after n ticks (valid
+// until the next Jump) and dir the componentwise trajectory direction —
+// +1 monotonically rising, −1 falling, 0 mixed (endTemps nil; the caller
+// must fall back to fixed ticks, endpoint guards would not bound the
+// interior). Call Commit to apply a planned jump. Allocation-free once
+// the horizon's pair is cached.
+func (ss *Superstep) Jump(nTicks int, constInjW []float64) (endTemps []float64, dir int, err error) {
+	ss.planned = false
+	n := ss.st.m.n
+	if nTicks < 1 {
+		return nil, 0, fmt.Errorf("thermal: superstep of %d ticks", nTicks)
+	}
+	if len(constInjW) != n {
+		return nil, 0, fmt.Errorf("thermal: Jump got %d powers, want %d", len(constInjW), n)
+	}
+	m := ss.st.m
+	amb := m.ambientC
+	temps := m.temps[:n]
+	for i := 0; i < n; i++ {
+		acc := ss.st.ambGain[i] * amb
+		br := ss.st.bp[i*n : i*n+n : i*n+n]
+		for j := range br {
+			acc += br[j] * constInjW[j]
+		}
+		ss.bvec[i] = acc
+	}
+	// One-tick probe: with Ã ≥ 0 the increment T[k+1]−T[k] keeps its
+	// componentwise sign, so the first step's direction is the whole
+	// jump's direction.
+	rising, falling := true, true
+	for i := 0; i < n; i++ {
+		acc := ss.bvec[i]
+		ar := ss.at[i*n : i*n+n : i*n+n]
+		for j := range ar {
+			acc += ar[j] * temps[j]
+		}
+		ss.t1[i] = acc
+		if acc > temps[i] {
+			falling = false
+		} else if acc < temps[i] {
+			rising = false
+		}
+	}
+	switch {
+	case rising:
+		dir = 1
+	case falling:
+		dir = -1
+	default:
+		return nil, 0, nil
+	}
+	// Apply the binary decomposition of nTicks to the temperature vector,
+	// smallest block first: each set bit contributes one affine
+	// application T ← P·T + S·b̃ with a cached power-of-two block. The 2⁰
+	// block's image is the probe already in t1.
+	cur, nxt := ss.tn, ss.t1
+	if nTicks&1 == 1 {
+		copy(cur, ss.t1)
+	} else {
+		copy(cur, temps)
+	}
+	inTn := true
+	for k, rem := 1, nTicks>>1; rem > 0; k, rem = k+1, rem>>1 {
+		if rem&1 == 0 {
+			continue
+		}
+		pr := ss.block(k)
+		for i := 0; i < n; i++ {
+			acc := 0.0
+			prow := pr.p[i*n : i*n+n : i*n+n]
+			srow := pr.s[i*n : i*n+n : i*n+n]
+			for j := range prow {
+				acc += prow[j]*cur[j] + srow[j]*ss.bvec[j]
+			}
+			nxt[i] = acc
+		}
+		cur, nxt = nxt, cur
+		inTn = !inTn
+	}
+	if !inTn {
+		copy(ss.tn, cur)
+	}
+	for i := 0; i < n; i++ {
+		if math.IsNaN(ss.tn[i]) || math.IsInf(ss.tn[i], 0) {
+			return nil, 0, errors.New("thermal: superstep produced a non-finite temperature")
+		}
+	}
+	ss.planned = true
+	return ss.tn, dir, nil
+}
+
+// Commit applies the temperatures of the last successful Jump to the
+// model.
+func (ss *Superstep) Commit() error {
+	if !ss.planned {
+		return errors.New("thermal: Commit without a planned Jump")
+	}
+	copy(ss.st.m.temps[:ss.st.m.n], ss.tn)
+	ss.planned = false
+	return nil
+}
+
+// block returns the 2^k-tick jump block (Ã^(2^k), Σ_{j<2^k} Ãʲ),
+// consulting the per-instance table, then the process-wide cache, then
+// doubling the previous block:
+//
+//	(P,S)_{2m} = (P_m², (P_m + I)·S_m),
+//
+// which follows from applying m+m steps in sequence,
+// (P,S)_{a+b} = (P_b·P_a, P_b·S_a + S_b). Only O(log n) blocks exist per
+// (system, dt, slope), so the cache stays small no matter how many
+// distinct horizons a run jumps.
+func (ss *Superstep) block(k int) *ssPair {
+	for len(ss.blocks) <= k {
+		kk := len(ss.blocks)
+		var kb [8]byte
+		binary.LittleEndian.PutUint64(kb[:], uint64(kk))
+		key := ss.keyPre + string(kb[:])
+		if v, ok := superCache.Load(key); ok {
+			ss.blocks = append(ss.blocks, v.(*ssPair))
+			continue
+		}
+		n := ss.st.m.n
+		var p *ssPair
+		if kk == 0 {
+			p = &ssPair{p: append([]float64(nil), ss.at...), s: identity(n)}
+		} else {
+			prev := ss.blocks[kk-1]
+			p = &ssPair{p: make([]float64, n*n), s: make([]float64, n*n)}
+			matMul(p.p, prev.p, prev.p, n)
+			matMul(p.s, prev.p, prev.s, n)
+			for i := range p.s {
+				p.s[i] += prev.s[i]
+			}
+		}
+		if superCacheCount.Load() < superCacheLimit {
+			if v, loaded := superCache.LoadOrStore(key, p); loaded {
+				p = v.(*ssPair)
+			} else {
+				superCacheCount.Add(1)
+			}
+		}
+		ss.blocks = append(ss.blocks, p)
+	}
+	return ss.blocks[k]
+}

@@ -1,0 +1,238 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// affineReference advances the model tick by tick through the stepper,
+// evaluating the affine power law P(T) = pConst + slope·T before each
+// step — the arithmetic a fixed-tick simulation performs.
+func affineReference(t *testing.T, st *Stepper, pConst, slope []float64, ticks int) []float64 {
+	t.Helper()
+	m := st.Model()
+	n := len(pConst)
+	inj := make([]float64, n)
+	for k := 0; k < ticks; k++ {
+		for i := 0; i < n; i++ {
+			inj[i] = pConst[i] + slope[i]*m.Temp(i)
+		}
+		if err := st.Step(inj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m.Temps()
+}
+
+// Property: Jump+Commit reproduces the tick-by-tick affine trajectory to
+// floating-point rounding across randomized networks, slopes, horizons
+// and start states.
+func TestSuperstepMatchesSequentialTicks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	horizons := []int{1, 2, 3, 5, 8, 16, 17, 63, 64, 99, 100, 513}
+	for trial := 0; trial < 25; trial++ {
+		net := randomNetwork(rng)
+		n := len(net.Nodes)
+		mRef, err := NewModel(net, 28)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mJmp, err := NewModel(net, 28)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stRef, err := mRef.NewStepper(0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stJmp, err := mJmp.NewStepper(0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pConst := randomPowers(rng, n)
+		slope := make([]float64, n)
+		for i := range slope {
+			// Realistic leakage feedback: a few mW/°C.
+			slope[i] = 0.01 * rng.Float64()
+		}
+		ss, err := NewSuperstep(stJmp, slope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Jump's constInjW is the temperature-independent part of the
+		// power law — the reference's pConst; the slope rides in the map.
+		for _, h := range horizons {
+			ref := affineReference(t, stRef, pConst, slope, h)
+			end, dir, err := ss.Jump(h, pConst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dir == 0 {
+				// Mixed trajectory: a legal fallback outcome. Re-sync the
+				// jump model tick by tick and try the next horizon.
+				affineReference(t, stJmp, pConst, slope, h)
+				continue
+			}
+			if err := ss.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if d := math.Abs(end[i] - ref[i]); d > 1e-9 {
+					t.Fatalf("trial %d horizon %d node %d: jump %.15g vs sequential %.15g (|Δ|=%.3g)",
+						trial, h, i, end[i], ref[i], d)
+				}
+			}
+		}
+	}
+}
+
+// The direction probe: heating from ambient reports rising, cooling from
+// a hot start with no injected power reports falling, and the committed
+// endpoints respect the direction.
+func TestSuperstepDirection(t *testing.T) {
+	net := Exynos5422Network()
+	m, err := NewModel(net, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.NewStepper(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope := make([]float64, len(net.Nodes))
+	ss, err := NewSuperstep(st, slope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := []float64{4, 3, 4, 3} // watts: drives every node up from ambient
+	end, dir, err := ss.Jump(50, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir != 1 {
+		t.Fatalf("heating from ambient: dir = %d, want 1", dir)
+	}
+	for i := range end {
+		if end[i] <= 28 {
+			t.Fatalf("node %d did not heat: %g", i, end[i])
+		}
+	}
+	if err := ss.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Long soak toward the hot steady state, then cut power: cooling.
+	if _, _, err := ss.Jump(100000, hot); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	zero := make([]float64, len(net.Nodes))
+	end, dir, err = ss.Jump(50, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir != -1 {
+		t.Fatalf("cooling after power cut: dir = %d, want -1", dir)
+	}
+	for i := range end {
+		if end[i] < 28 {
+			t.Fatalf("node %d cooled below ambient: %g", i, end[i])
+		}
+	}
+}
+
+// Commit without a planned Jump must fail, and a failed Jump must
+// invalidate any previous plan.
+func TestSuperstepCommitContract(t *testing.T) {
+	net := Exynos5422Network()
+	m, err := NewModel(net, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.NewStepper(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewSuperstep(st, make([]float64, len(net.Nodes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Commit(); err == nil {
+		t.Fatal("Commit without Jump did not fail")
+	}
+	p := []float64{2, 1, 2, 1}
+	if _, _, err := ss.Jump(10, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ss.Jump(0, p); err == nil {
+		t.Fatal("Jump(0) did not fail")
+	}
+	if err := ss.Commit(); err == nil {
+		t.Fatal("Commit after failed Jump did not fail")
+	}
+}
+
+// NewSuperstep validation: slope length and sign.
+func TestNewSuperstepValidation(t *testing.T) {
+	net := Exynos5422Network()
+	m, err := NewModel(net, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.NewStepper(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSuperstep(st, make([]float64, 2)); err == nil {
+		t.Fatal("wrong slope length accepted")
+	}
+	bad := make([]float64, len(net.Nodes))
+	bad[0] = -0.01
+	if _, err := NewSuperstep(st, bad); err == nil {
+		t.Fatal("negative slope accepted")
+	}
+}
+
+// Two Supersteps over the same (system, dt, slope) share their jump
+// blocks through the process-wide cache — as long as the bounded cache
+// still has room (other tests in the package may have filled it).
+func TestSuperstepBlockSharing(t *testing.T) {
+	if superCacheCount.Load() >= superCacheLimit {
+		t.Skip("process-wide superstep cache already full")
+	}
+	net := Exynos5422Network()
+	mkSS := func() *Superstep {
+		m, err := NewModel(net, 28)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.NewStepper(0.0137)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slope := []float64{0.003, 0.001, 0.004, 0}
+		ss, err := NewSuperstep(st, slope)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ss
+	}
+	a, b := mkSS(), mkSS()
+	p := []float64{2, 1, 2, 1}
+	if _, _, err := a.Jump(37, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Jump(37, p); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.blocks) == 0 || len(a.blocks) != len(b.blocks) {
+		t.Fatalf("block tables differ: %d vs %d", len(a.blocks), len(b.blocks))
+	}
+	for k := range a.blocks {
+		if a.blocks[k] != b.blocks[k] {
+			t.Fatalf("block %d not shared through the cache", k)
+		}
+	}
+}

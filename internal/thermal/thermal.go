@@ -12,6 +12,15 @@
 // allocations. A direct linear steady-state solver cross-checks both and
 // powers calibration tests. Sensors mimic the Exynos TMU: per-node
 // readings with optional 1 °C quantisation.
+//
+// Superstep extends the exact propagator to whole intervals: when the
+// injected power is affine in temperature (a constant operating point
+// with its leakage slope folded into the map), n ticks collapse to one
+// affine application T[k+n] = Ãⁿ·T[k] + Sₙ·b̃ with power-of-two jump
+// blocks cached per (system, dt, slope). Because Ã is entrywise
+// non-negative, the trajectory direction of the first tick holds for
+// the whole jump, which lets callers check interior constraints from
+// the endpoints alone. See docs/integrators.md for the contract.
 package thermal
 
 import (
