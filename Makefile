@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-json scenario-gate integrator-gate serve-smoke ci
+.PHONY: build vet fmt test race bench bench-json scenario-gate integrator-gate serve-smoke soak-gate ci
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ bench:
 # BENCH_<date>.json — ns/op, B/op and allocs/op per benchmark. CI uploads
 # it as a non-gating artifact so the perf trajectory is tracked across PRs.
 BENCH_DATE := $(shell date -u +%Y-%m-%d)
-BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioPreempt|BenchmarkScenarioGrid|BenchmarkScenarioReplaySparse|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto|BenchmarkServiceSubmit|BenchmarkServiceStream'
+BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioPreempt|BenchmarkScenarioGrid|BenchmarkScenarioReplaySparse|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto|BenchmarkServiceSubmit|BenchmarkServiceStream|BenchmarkServiceSoak|BenchmarkJournalReplay'
 bench-json:
 	$(GO) test -run='^$$' -bench=$(BENCH_CORE) -benchmem ./internal/sim ./internal/scenario ./internal/thermal ./internal/power ./internal/service . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
@@ -56,8 +56,18 @@ integrator-gate:
 # submit a preset scenario, stream its NDJSON telemetry, verify the
 # result is byte-identical to the teemscenario CLI, cancel a long run,
 # drain on SIGTERM — plus the teemd load generator against a live
-# daemon. Runs the process-level tests in cmd/teemd.
+# daemon. Runs the process-level tests in cmd/teemd under the race
+# detector (the test harness itself exercises concurrent clients).
 serve-smoke:
-	$(GO) test ./cmd/teemd -run 'TestServeSmoke|TestLoadSubcommand' -count=1 -v
+	$(GO) test -race ./cmd/teemd -run 'TestServeSmoke|TestLoadSubcommand' -count=1 -v
 
-ci: build vet fmt test race bench scenario-gate integrator-gate serve-smoke
+# Durability and SLO soak gate (docs/operations.md): SIGKILL a daemon
+# mid-load and require the restart to re-run every acknowledged job from
+# the write-ahead journal to byte-identical results with no duplicated
+# completions, then hold the soak SLOs against a daemon running with
+# fault injection (worker panics, dropped journal appends) and
+# per-tenant quotas.
+soak-gate:
+	$(GO) test ./cmd/teemd -run 'TestSoakGate|TestLoadSoak' -count=1 -v
+
+ci: build vet fmt test race bench scenario-gate integrator-gate serve-smoke soak-gate

@@ -33,11 +33,19 @@ func runLoad(args []string) {
 		preset  = fs.String("preset", "sunlight", "preset scenario every client submits")
 		govs    = fs.String("govs", "ondemand", "comma-separated governors")
 		unique  = fs.Bool("unique", false, "give every client a distinct inline scenario (defeats the request cache)")
+		soak    = fs.Bool("soak", false, "soak mode: submit continuously for -duration and assert the SLOs")
+		dur     = fs.Duration("duration", 10*time.Second, "soak: how long to keep submitting")
+		tenants = fs.Int("tenants", 4, "soak: spread clients across this many tenants")
+		sloP99  = fs.Duration("slo-p99", 30*time.Second, "soak: p99 submit→done latency bound")
 		version = fs.Bool("version", false, "print version and exit")
 	)
 	_ = fs.Parse(args)
 	if *version {
 		fmt.Println(buildinfo.String("teemd"))
+		return
+	}
+	if *soak {
+		runSoak(*addr, *clients, *tenants, *dur, *sloP99)
 		return
 	}
 

@@ -62,9 +62,24 @@ func runServe(args []string) {
 	var (
 		addr    = fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
 		workers = fs.Int("workers", 0, "concurrently executing jobs (0 = one per CPU)")
-		queue   = fs.Int("queue", 64, "queued-job admission bound (full queue answers 503)")
+		queue   = fs.Int("queue", 64, "queued-job admission bound (a full queue sheds lower-priority work or answers 429)")
 		keep    = fs.Int("keep", 1024, "finished jobs retained for status/result queries")
 		drain   = fs.Duration("drain-timeout", 15*time.Second, "SIGTERM grace: time in-flight jobs get before cancellation")
+
+		journal        = fs.String("journal", "", "write-ahead job journal path; a restart re-runs its uncompleted jobs (empty = volatile)")
+		journalCompact = fs.Int64("journal-compact", 0, "journal size that triggers compaction in bytes (0 = 1 MiB)")
+
+		quotaRate   = fs.Float64("quota-rate", 0, "per-tenant sustained submissions/s (0 = unlimited)")
+		quotaBurst  = fs.Int("quota-burst", 0, "per-tenant submission burst (0 = ceil(rate))")
+		quotaActive = fs.Int("quota-active", 0, "per-tenant cap on queued+running jobs (0 = unlimited)")
+
+		retryMax  = fs.Int("retry-max", 0, "total execution attempts for transiently failing jobs (0 = 3, 1 = no retry)")
+		retryBase = fs.Duration("retry-base", 0, "retry backoff base, doubling per attempt with jitter (0 = 50ms)")
+
+		faultPanic      = fs.Int("fault-panic-every", 0, "fault injection: panic every Nth job execution (0 = off)")
+		faultJournalErr = fs.Int("fault-journal-err-every", 0, "fault injection: drop every Nth journal append (0 = off)")
+		faultSlowCell   = fs.Duration("fault-slow-cell", 0, "fault injection: delay every completed grid cell by this much (0 = off)")
+
 		version = fs.Bool("version", false, "print version and exit")
 	)
 	_ = fs.Parse(args)
@@ -73,9 +88,37 @@ func runServe(args []string) {
 		return
 	}
 
-	svc, err := service.New(service.Options{Workers: *workers, QueueDepth: *queue, KeepJobs: *keep})
+	opts := service.Options{
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		KeepJobs:            *keep,
+		JournalPath:         *journal,
+		JournalCompactBytes: *journalCompact,
+		Retry:               service.RetryPolicy{MaxAttempts: *retryMax, BaseDelay: *retryBase},
+	}
+	if *quotaRate > 0 || *quotaActive > 0 {
+		opts.Quotas = &service.QuotaConfig{Default: service.TenantQuota{
+			RatePerSec: *quotaRate,
+			Burst:      *quotaBurst,
+			MaxActive:  *quotaActive,
+		}}
+	}
+	if *faultPanic > 0 || *faultJournalErr > 0 || *faultSlowCell > 0 {
+		log.Printf("fault injection active: panic-every=%d journal-err-every=%d slow-cell=%s",
+			*faultPanic, *faultJournalErr, *faultSlowCell)
+		opts.Faults = &service.FaultConfig{
+			PanicEvery:      *faultPanic,
+			JournalErrEvery: *faultJournalErr,
+			SlowCell:        *faultSlowCell,
+		}
+	}
+	svc, err := service.New(opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *journal != "" {
+		m := svc.Metrics()
+		log.Printf("journal %s: %d job(s) recovered", *journal, m.Recoveries())
 	}
 	svc.Metrics().PublishExpvar()
 

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"teem/internal/scenario"
+	"teem/internal/service"
+)
+
+// soakScenario builds one small distinct scenario plus the byte-exact
+// render the daemon must eventually produce for it.
+func soakScenario(t *testing.T, name string, horizon float64) (json.RawMessage, string) {
+	t.Helper()
+	sc, err := scenario.New(name).ArriveDefault(0, "MVT").Horizon(horizon).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	grid, err := scenario.RunGrid([]*scenario.Scenario{sc}, []string{"ondemand"}, scenario.Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), grid.Render()
+}
+
+// TestSoakGate is the crash-recovery acceptance gate: SIGKILL a daemon
+// that has acknowledged jobs it has not finished, restart it on the same
+// journal, and require that every acknowledged job re-runs under its
+// original id to a byte-identical result, with no duplicate completion
+// records in the journal.
+func TestSoakGate(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "journal.ndjson")
+
+	// Phase 1: a deliberately slow daemon (every grid cell stalls 1s)
+	// accepts four jobs and is killed before any can finish. The 202
+	// acknowledgements mean the submissions are fsynced to the journal.
+	d1 := startDaemon(t, "-journal", journal, "-workers", "1", "-fault-slow-cell", "1s")
+	type pending struct {
+		id   string
+		want string
+	}
+	var jobs []pending
+	for i := 0; i < 4; i++ {
+		scJSON, want := soakScenario(t, fmt.Sprintf("crash-%d", i), float64(2+i))
+		code, body := d1.post(t, "/v1/jobs", service.JobRequest{
+			Scenario:  scJSON,
+			Governors: []string{"ondemand"},
+			Tenant:    "crash-test",
+		})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d: %s", i, code, body)
+		}
+		var js service.JobStatus
+		if err := json.Unmarshal(body, &js); err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, pending{id: js.ID, want: want})
+	}
+	if err := d1.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no journal close
+		t.Fatal(err)
+	}
+	_ = d1.cmd.Wait()
+
+	// Phase 2: a fresh daemon on the same journal (no faults) must
+	// recover all four jobs and run them to completion.
+	d2 := startDaemon(t, "-journal", journal)
+	code, body := d2.get(t, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d: %s", code, body)
+	}
+	var m struct {
+		Recoveries int64 `json:"recoveries"`
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Recoveries != int64(len(jobs)) {
+		t.Errorf("recoveries = %d, want %d", m.Recoveries, len(jobs))
+	}
+	for _, p := range jobs {
+		js := d2.waitTerminal(t, p.id, 60*time.Second)
+		if js.Status != service.StatusDone {
+			t.Fatalf("recovered job %s ended %s: %s", p.id, js.Status, js.Error)
+		}
+		code, got := d2.get(t, "/v1/jobs/"+p.id+"/result")
+		if code != http.StatusOK {
+			t.Fatalf("result %s = %d: %s", p.id, code, got)
+		}
+		if string(got) != p.want {
+			t.Errorf("job %s: recovered result differs from the local render (%d vs %d bytes)",
+				p.id, len(got), len(p.want))
+		}
+	}
+	code, body = d2.get(t, "/healthz")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"status": "ok"`)) {
+		t.Errorf("healthz after recovery = %d: %s", code, body)
+	}
+
+	// Graceful shutdown flushes the journal so it can be audited.
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.cmd.Wait(); err != nil {
+		t.Fatalf("restarted teemd exited with %v", err)
+	}
+
+	// Phase 3: the journal must hold exactly one finish record per job —
+	// recovery must not have duplicated completions.
+	f, err := os.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	finishes := make(map[string]int)
+	statuses := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec struct {
+			Op     string `json:"op"`
+			ID     string `json:"id"`
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("corrupt journal line %q: %v", sc.Text(), err)
+		}
+		if rec.Op == "finish" {
+			finishes[rec.ID]++
+			statuses[rec.ID] = rec.Status
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range jobs {
+		if finishes[p.id] != 1 {
+			t.Errorf("journal has %d finish records for %s, want exactly 1", finishes[p.id], p.id)
+		}
+		if statuses[p.id] != string(service.StatusDone) {
+			t.Errorf("journal finish for %s is %q, want done", p.id, statuses[p.id])
+		}
+	}
+	for id, n := range finishes {
+		if n > 1 {
+			t.Errorf("journal has %d finish records for %s", n, id)
+		}
+	}
+}
+
+// TestLoadSoak drives the promoted soak benchmark end to end: a daemon
+// running with fault injection (periodic worker panics, dropped journal
+// appends) and per-tenant quotas must hold the soak SLOs — every
+// accepted job settles done (retries absorb the panics) or explicitly
+// shed, results stay byte-identical, and healthz stays ok.
+func TestLoadSoak(t *testing.T) {
+	d := startDaemon(t,
+		"-journal", filepath.Join(t.TempDir(), "journal.ndjson"),
+		"-workers", "2", "-queue", "16",
+		"-fault-panic-every", "7",
+		"-fault-journal-err-every", "3",
+		"-retry-max", "8", "-retry-base", "5ms",
+		"-quota-rate", "50", "-quota-burst", "10",
+	)
+	soak := exec.Command(filepath.Join(binDir, "teemd"), "load",
+		"-addr", d.base, "-soak",
+		"-clients", "6", "-tenants", "3",
+		"-duration", "2s", "-slo-p99", "30s")
+	out, err := soak.CombinedOutput()
+	if err != nil {
+		t.Fatalf("teemd load -soak: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("soak SLOs held")) {
+		t.Errorf("soak output lacks the SLO verdict:\n%s", out)
+	}
+}

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"container/heap"
 	"context"
 	"errors"
 	"sync"
@@ -8,28 +9,89 @@ import (
 
 // Pool errors.
 var (
-	// ErrPoolClosed reports a Submit after Close or Drain.
+	// ErrPoolClosed reports a Submit after Close or Drain. The error is a
+	// sentinel, never a panic: submissions may race the shutdown freely
+	// and the loser is told so instead of hitting a closed queue.
 	ErrPoolClosed = errors.New("par: pool is closed")
-	// ErrPoolFull reports a Submit that found the queue at capacity.
+	// ErrPoolFull reports a Submit that found the queue at capacity and
+	// no queued task of strictly lower priority to displace.
 	ErrPoolFull = errors.New("par: pool queue is full")
 )
 
+// Task is one unit of pool work plus its admission metadata.
+type Task struct {
+	// Run executes the task. It receives the pool's context, which Close
+	// cancels; a task that ignores the cancellation stalls the teardown.
+	Run func(ctx context.Context)
+	// Priority orders dequeue: higher priorities run first, equal
+	// priorities in submission order. It also orders shedding — a full
+	// queue displaces its lowest-priority entry to admit a strictly
+	// higher-priority submission.
+	Priority int
+	// Shed, if set, is invoked (on the displacing submitter's goroutine,
+	// after the task has been removed from the queue) when the task is
+	// evicted by a higher-priority submission. Run is never called for a
+	// shed task.
+	Shed func()
+}
+
+// queuedTask is a Task in the pool's priority queue.
+type queuedTask struct {
+	Task
+	seq   int64 // submission order, FIFO within a priority
+	index int   // heap index, for O(log n) removal on shed
+}
+
+// taskQueue is a max-heap on (priority, -seq): highest priority first,
+// FIFO within equal priorities.
+type taskQueue []*queuedTask
+
+func (q taskQueue) Len() int { return len(q) }
+func (q taskQueue) Less(i, j int) bool {
+	if q[i].Priority != q[j].Priority {
+		return q[i].Priority > q[j].Priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q taskQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *taskQueue) Push(x any) {
+	t := x.(*queuedTask)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+func (q *taskQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}
+
 // Pool is a long-lived bounded worker pool — the job-manager substrate of
 // the service layer, as opposed to ForEach's one-shot fan-outs. Tasks are
-// queued by Submit up to a fixed queue depth (admission control: a full
-// queue rejects instead of blocking) and executed by a fixed set of
-// workers in submission order. Every task receives the pool's context,
-// which Close cancels, so in-flight work shuts down promptly on teardown;
-// Drain instead lets queued and running tasks finish.
+// queued by Submit/SubmitTask up to a fixed queue depth (admission
+// control: a full queue rejects — or, for a higher-priority submission,
+// sheds its lowest-priority queued task) and executed by a fixed set of
+// workers, highest priority first and FIFO within a priority. Every task
+// receives the pool's context, which Close cancels, so in-flight work
+// shuts down promptly on teardown; Drain instead lets queued and running
+// tasks finish.
 type Pool struct {
-	tasks  chan func(context.Context)
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
 	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   taskQueue
+	depth   int
+	seq     int64
 	closed  bool
-	queued  int
 	running int
 }
 
@@ -45,10 +107,11 @@ func NewPool(workers, queue int) *Pool {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pool{
-		tasks:  make(chan func(context.Context), queue),
 		ctx:    ctx,
 		cancel: cancel,
+		depth:  queue,
 	}
+	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go p.worker()
@@ -58,43 +121,83 @@ func NewPool(workers, queue int) *Pool {
 
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	for fn := range p.tasks {
-		p.mu.Lock()
-		p.queued--
+	p.mu.Lock()
+	for {
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			// Closed and drained: queued tasks always execute (Close
+			// hands them a cancelled context), so an empty queue here
+			// means there is nothing left to run.
+			p.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&p.queue).(*queuedTask)
 		p.running++
 		p.mu.Unlock()
-		fn(p.ctx)
+		t.Run(p.ctx)
 		p.mu.Lock()
 		p.running--
-		p.mu.Unlock()
 	}
 }
 
-// Submit enqueues fn without blocking. It returns ErrPoolFull when the
-// queue is at capacity (the caller sheds load) and ErrPoolClosed after
-// Close or Drain. fn must honour the context it receives: Close cancels
-// it, and a task that ignores the cancellation stalls the teardown.
+// Submit enqueues fn at priority 0 without blocking. It returns
+// ErrPoolFull when the queue is at capacity (the caller sheds load) and
+// ErrPoolClosed after Close or Drain.
 func (p *Pool) Submit(fn func(ctx context.Context)) error {
-	if fn == nil {
+	return p.SubmitTask(Task{Run: fn})
+}
+
+// SubmitTask enqueues t without blocking. A full queue admits t only by
+// displacing a queued task of strictly lower priority (the lowest, newest
+// first; its Shed hook is invoked and its Run never happens) — otherwise
+// ErrPoolFull. After Close or Drain every submission returns
+// ErrPoolClosed; the closed state is checked under the same lock as the
+// queue, so a submission racing the shutdown gets the sentinel, never a
+// panic.
+func (p *Pool) SubmitTask(t Task) error {
+	if t.Run == nil {
 		return errors.New("par: Submit needs a task")
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return ErrPoolClosed
 	}
-	select {
-	case p.tasks <- fn:
-		p.queued++
-		return nil
-	default:
-		return ErrPoolFull
+	var victim *queuedTask
+	if len(p.queue) >= p.depth {
+		vi := -1
+		for i, c := range p.queue {
+			if c.Priority >= t.Priority {
+				continue
+			}
+			// Shed the lowest priority; within it, the newest entry, so
+			// the oldest admitted work keeps its place.
+			if vi < 0 || c.Priority < p.queue[vi].Priority ||
+				(c.Priority == p.queue[vi].Priority && c.seq > p.queue[vi].seq) {
+				vi = i
+			}
+		}
+		if vi < 0 {
+			p.mu.Unlock()
+			return ErrPoolFull
+		}
+		victim = p.queue[vi]
+		heap.Remove(&p.queue, vi)
 	}
+	p.seq++
+	heap.Push(&p.queue, &queuedTask{Task: t, seq: p.seq})
+	p.cond.Signal()
+	p.mu.Unlock()
+	if victim != nil && victim.Shed != nil {
+		victim.Shed()
+	}
+	return nil
 }
 
-// Queued returns the number of submitted-but-not-started tasks; Running
-// the number currently executing.
-func (p *Pool) Queued() int { p.mu.Lock(); defer p.mu.Unlock(); return p.queued }
+// Queued returns the number of submitted-but-not-started tasks.
+func (p *Pool) Queued() int { p.mu.Lock(); defer p.mu.Unlock(); return len(p.queue) }
 
 // Running returns the number of tasks currently executing.
 func (p *Pool) Running() int { p.mu.Lock(); defer p.mu.Unlock(); return p.running }
@@ -116,14 +219,11 @@ func (p *Pool) Close() {
 
 func (p *Pool) shutdown(cancel bool) {
 	p.mu.Lock()
-	wasClosed := p.closed
 	p.closed = true
+	p.cond.Broadcast()
 	p.mu.Unlock()
 	if cancel {
 		p.cancel()
-	}
-	if !wasClosed {
-		close(p.tasks)
 	}
 	p.wg.Wait()
 }

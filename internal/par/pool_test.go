@@ -199,6 +199,134 @@ func TestPoolConcurrentSubmitRaceClean(t *testing.T) {
 	}
 }
 
+// Workers dequeue highest priority first, FIFO within a priority.
+func TestPoolPriorityOrdering(t *testing.T) {
+	p := NewPool(1, 16)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func(context.Context) { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var mu sync.Mutex
+	var order []int
+	add := func(tag int) func(context.Context) {
+		return func(context.Context) { mu.Lock(); order = append(order, tag); mu.Unlock() }
+	}
+	// Queue low, high, two mediums (FIFO between them), low.
+	for _, c := range []struct{ tag, pri int }{
+		{1, 0}, {2, 10}, {3, 5}, {4, 5}, {5, 0},
+	} {
+		if err := p.SubmitTask(Task{Run: add(c.tag), Priority: c.pri}); err != nil {
+			t.Fatalf("submit %d: %v", c.tag, err)
+		}
+	}
+	close(block)
+	p.Drain()
+	want := []int{2, 3, 4, 1, 5}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("ran %d tasks, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dequeue order %v, want %v", order, want)
+		}
+	}
+}
+
+// A full queue sheds its lowest-priority (newest-first) entry to admit a
+// strictly higher-priority submission: the victim's Shed hook fires and
+// its Run never does. An equal-priority submission is rejected instead.
+func TestPoolShedsLowestPriority(t *testing.T) {
+	p := NewPool(1, 2)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func(context.Context) { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var lowRan, lowShed, low2Shed atomic.Bool
+	if err := p.SubmitTask(Task{
+		Run:      func(context.Context) { lowRan.Store(true) },
+		Priority: 1,
+		Shed:     func() { lowShed.Store(true) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitTask(Task{
+		Run:      func(context.Context) {},
+		Priority: 1,
+		Shed:     func() { low2Shed.Store(true) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Equal priority cannot displace anything.
+	if err := p.SubmitTask(Task{Run: func(context.Context) {}, Priority: 1}); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("equal-priority submit on full queue: got %v, want ErrPoolFull", err)
+	}
+	// Higher priority displaces the newest of the lowest-priority pair.
+	if err := p.SubmitTask(Task{Run: func(context.Context) {}, Priority: 5}); err != nil {
+		t.Fatalf("higher-priority submit on full queue: %v", err)
+	}
+	if !low2Shed.Load() {
+		t.Error("newest low-priority task was not shed")
+	}
+	if lowShed.Load() {
+		t.Error("oldest low-priority task was shed before the newer one")
+	}
+	close(block)
+	p.Drain()
+	if !lowRan.Load() {
+		t.Error("surviving low-priority task never ran")
+	}
+}
+
+// The shutdown-ordering regression: submissions racing Close/Drain must
+// get the ErrPoolClosed sentinel (or land and run), never panic on a
+// closed queue, and every accepted task must execute exactly once.
+func TestPoolSubmitCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		p := NewPool(2, 64)
+		var accepted, ran int32
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					err := p.Submit(func(context.Context) { atomic.AddInt32(&ran, 1) })
+					switch {
+					case err == nil:
+						atomic.AddInt32(&accepted, 1)
+					case errors.Is(err, ErrPoolClosed):
+						return
+					case errors.Is(err, ErrPoolFull):
+					default:
+						t.Errorf("unexpected submit error: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Millisecond)
+		p.Drain() // must not race the submitters into a panic
+		close(stop)
+		wg.Wait()
+		if a, r := atomic.LoadInt32(&accepted), atomic.LoadInt32(&ran); a != r {
+			t.Fatalf("round %d: accepted %d tasks but ran %d", round, a, r)
+		}
+	}
+}
+
 func TestFlightForget(t *testing.T) {
 	var f Flight[string, int]
 	var runs int32

@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -157,5 +159,73 @@ func BenchmarkServiceSubmitSparse(b *testing.B) {
 			b.Fatal("benchmark request unexpectedly cached")
 		}
 		benchWait(b, j)
+	}
+}
+
+// BenchmarkServiceSoak measures the fully-armoured serving path: every
+// submission journaled with fsync group commit, every 7th execution
+// panicking and retrying with backoff — the steady-state cost of
+// durability plus fault tolerance on top of BenchmarkServiceSubmit.
+func BenchmarkServiceSoak(b *testing.B) {
+	s, err := New(Options{
+		Workers:     2,
+		QueueDepth:  16,
+		JournalPath: filepath.Join(b.TempDir(), "journal.ndjson"),
+		Faults:      &FaultConfig{PanicEvery: 7},
+		Retry:       RetryPolicy{BaseDelay: time.Millisecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, cached, err := s.Submit(&JobRequest{Scenario: benchScenarioJSON(b, fmt.Sprintf("soak-%d", i))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cached {
+			b.Fatal("benchmark request unexpectedly cached")
+		}
+		benchWait(b, j)
+	}
+}
+
+// BenchmarkJournalReplay measures recovery-scan throughput: how fast a
+// restarting daemon reads a journal and works out its pending set
+// (bytes/s over a 1000-job history, half of it uncompleted).
+func BenchmarkJournalReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "journal.ndjson")
+	req := &JobRequest{Scenario: benchScenarioJSON(b, "replay"), Governors: []string{"ondemand"}}
+	var buf bytes.Buffer
+	seq := int64(0)
+	enc := json.NewEncoder(&buf)
+	for i := 1; i <= 1000; i++ {
+		seq++
+		if err := enc.Encode(journalRecord{Seq: seq, Op: opSubmit, ID: fmt.Sprintf("j%d", i), Req: req}); err != nil {
+			b.Fatal(err)
+		}
+		if i%2 == 0 {
+			seq++
+			if err := enc.Encode(journalRecord{Seq: seq, Op: opFinish, ID: fmt.Sprintf("j%d", i), Status: StatusDone}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan, err := readJournal(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(scan.pending) != 500 {
+			b.Fatalf("pending = %d, want 500", len(scan.pending))
+		}
 	}
 }

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// FaultConfig injects deterministic failures into a Service for soak and
+// chaos testing — the knobs behind `make soak-gate` and the teemd
+// -fault-* flags. Counters, not probabilities: "every Nth" is exactly
+// reproducible, so a soak assertion never flakes on a lucky run.
+//
+// All injected failures are the transient kind the service is built to
+// absorb: panics are recovered and retried with backoff, journal write
+// errors degrade durability (counted, logged) without failing jobs, and
+// slow cells stretch latency without corrupting results.
+type FaultConfig struct {
+	// PanicEvery forces every Nth job execution (counted across the
+	// service, retries included) to panic inside the worker (0 = off).
+	PanicEvery int
+	// JournalErrEvery fails every Nth journal append (0 = off). The
+	// record is dropped and counted in journal_errors; the job proceeds.
+	JournalErrEvery int
+	// SlowCell delays every completed scenario × governor cell by this
+	// much before its telemetry is published (0 = off).
+	SlowCell time.Duration
+}
+
+// faultState is a FaultConfig plus its runtime counters.
+type faultState struct {
+	cfg      FaultConfig
+	execN    atomic.Int64
+	journalN atomic.Int64
+}
+
+func newFaultState(cfg *FaultConfig) *faultState {
+	if cfg == nil {
+		return nil
+	}
+	return &faultState{cfg: *cfg}
+}
+
+// firePanic reports whether this job execution is the Nth and must panic.
+func (f *faultState) firePanic() bool {
+	if f == nil || f.cfg.PanicEvery <= 0 {
+		return false
+	}
+	return f.execN.Add(1)%int64(f.cfg.PanicEvery) == 0
+}
+
+// fireJournalErr reports whether this journal append is the Nth and must
+// be dropped.
+func (f *faultState) fireJournalErr() bool {
+	if f == nil || f.cfg.JournalErrEvery <= 0 {
+		return false
+	}
+	return f.journalN.Add(1)%int64(f.cfg.JournalErrEvery) == 0
+}
+
+// slowCell returns the injected per-cell delay (0 = none).
+func (f *faultState) slowCell() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.cfg.SlowCell
+}

@@ -5,7 +5,11 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
+
+	"teem/internal/buildinfo"
 )
 
 // Handler returns the service's HTTP API:
@@ -47,15 +51,28 @@ type apiError struct {
 }
 
 func writeError(w http.ResponseWriter, err error) {
+	// Admission rejections — quota or queue pressure — are 429 with a
+	// Retry-After hint: the condition is per-tenant and transient, not a
+	// daemon-wide 503.
+	var re *RetryError
+	if errors.As(err, &re) {
+		secs := int(math.Ceil(re.After.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		return
+	}
 	code := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
-	case errors.Is(err, ErrBusy):
-		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrQuotaExceeded), errors.Is(err, ErrBusy):
+		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		code = http.StatusServiceUnavailable
-	case errors.Is(err, ErrNotDone):
+	case errors.Is(err, ErrNotDone), errors.Is(err, ErrAlreadyDone):
 		code = http.StatusConflict
 	}
 	writeJSON(w, code, apiError{Error: err.Error()})
@@ -71,7 +88,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, cached, err := s.Submit(&req)
 	if err != nil {
-		if errors.Is(err, ErrBusy) || errors.Is(err, ErrClosed) {
+		if errors.Is(err, ErrBusy) || errors.Is(err, ErrClosed) || errors.Is(err, ErrQuotaExceeded) {
 			writeError(w, err)
 		} else {
 			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
@@ -174,7 +191,9 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, code, map[string]any{
 		"status":       status,
+		"version":      buildinfo.Version,
 		"jobs_queued":  queued,
 		"jobs_running": running,
+		"recoveries":   s.metrics.recoveries.Value(),
 	})
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"teem/internal/par"
 	"teem/internal/scenario"
 	"teem/internal/sim"
 	"teem/internal/trace"
@@ -17,7 +19,8 @@ type Status string
 
 // Job lifecycle states.
 const (
-	// StatusQueued: accepted, waiting for a pool worker.
+	// StatusQueued: accepted, waiting for a pool worker (also the state
+	// of a job waiting out a transient-failure retry backoff).
 	StatusQueued Status = "queued"
 	// StatusRunning: a worker is simulating.
 	StatusRunning Status = "running"
@@ -57,9 +60,13 @@ type Job struct {
 	summary         *ResultSummary
 	cancel          context.CancelFunc
 	cancelRequested bool
-	submittedAt     time.Time
-	startedAt       time.Time
-	finishedAt      time.Time
+	// retries counts transient-failure re-executions so far; retryTimer
+	// is armed while the job waits out a backoff.
+	retries     int
+	retryTimer  *time.Timer
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
 }
 
 func newJob(id string, req *JobRequest, key string, svc *Service) *Job {
@@ -79,10 +86,16 @@ type JobStatus struct {
 	ID     string `json:"id"`
 	Kind   string `json:"kind"`
 	Status Status `json:"status"`
+	// Tenant and Priority echo the admission parameters the job was
+	// accepted under.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 	// Cached marks a submission answered by the request-hash cache
 	// (set by the transport on duplicate submissions, not stored).
 	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Retries counts transient-failure re-executions so far.
+	Retries int `json:"retries,omitempty"`
 	// Summary is present once the job is done.
 	Summary     *ResultSummary `json:"summary,omitempty"`
 	SubmittedAt time.Time      `json:"submitted_at"`
@@ -103,7 +116,10 @@ func (j *Job) Snapshot() JobStatus {
 		ID:          j.ID,
 		Kind:        j.Req.Kind,
 		Status:      j.status,
+		Tenant:      j.Req.Tenant,
+		Priority:    j.Req.Priority,
 		Error:       j.err,
+		Retries:     j.retries,
 		Summary:     j.summary,
 		SubmittedAt: j.submittedAt,
 	}
@@ -138,30 +154,31 @@ func (j *Job) Result() (string, *ResultSummary, error) {
 
 // RequestCancel cancels the job: a queued job turns cancelled on the
 // spot (it never starts, and the status is observable immediately — not
-// only once a worker would have picked it up), a running job aborts
-// within one simulation tick. A job already in a terminal state reports
-// an error naming that state.
+// only once a worker would have picked it up; a pending retry backoff is
+// disarmed), a running job aborts within one simulation tick. Cancel is
+// idempotent: repeating it on an already-cancelled job is a nil no-op.
+// A job that ran to completion (done or failed) reports ErrAlreadyDone.
 func (j *Job) RequestCancel() error {
 	j.mu.Lock()
+	if j.status == StatusCancelled {
+		j.mu.Unlock()
+		return nil
+	}
 	if j.status.Terminal() {
 		st := j.status
 		j.mu.Unlock()
-		return fmt.Errorf("service: job %s already %s", j.ID, st)
+		return fmt.Errorf("%w: job %s is %s", ErrAlreadyDone, j.ID, st)
 	}
 	j.cancelRequested = true
-	if j.status == StatusQueued {
-		j.status = StatusCancelled
-		j.err = "cancelled while queued"
-		j.finishedAt = now()
-		j.mu.Unlock()
-		s := j.svc
-		s.metrics.queued.Add(-1)
-		s.metrics.cancelled.Add(1)
-		s.flight.Forget(j.key)
-		j.publishDone(StatusCancelled)
-		j.stream.close()
+	j.mu.Unlock()
+	if j.finishQueued(StatusCancelled, "cancelled while queued",
+		func(m *metrics, _ *tenantStats) { m.cancelled.Add(1) }) {
 		return nil
 	}
+	// The job is (or just became) running: kill its context. run() sets
+	// status and cancel in one critical section, so seeing it past
+	// queued means cancel is populated.
+	j.mu.Lock()
 	cancel := j.cancel
 	j.mu.Unlock()
 	if cancel != nil {
@@ -170,43 +187,106 @@ func (j *Job) RequestCancel() error {
 	return nil
 }
 
+// finishQueued finalizes a job that is not on a worker — waiting in the
+// pool queue or waiting out a retry backoff — and settles its
+// accounting: gauges, the caller's terminal counter, the request cache,
+// the journal's finish record, and the telemetry stream. It reports
+// false (and does nothing) once the job has left the queued state, so a
+// concurrent start, cancel and shed race resolves to exactly one
+// outcome.
+func (j *Job) finishQueued(st Status, msg string, count func(*metrics, *tenantStats)) bool {
+	s := j.svc
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		j.mu.Unlock()
+		return false
+	}
+	if t := j.retryTimer; t != nil {
+		t.Stop()
+		j.retryTimer = nil
+	}
+	j.status = st
+	j.err = msg
+	j.finishedAt = now()
+	j.mu.Unlock()
+	s.metrics.queued.Add(-1)
+	ts := s.metrics.tenant(j.Req.Tenant)
+	ts.queued.Add(-1)
+	count(s.metrics, ts)
+	s.flight.Forget(j.key)
+	s.journal.append(journalRecord{Op: opFinish, ID: j.ID, Status: st, Error: msg})
+	j.publishDone(st)
+	j.stream.close()
+	return true
+}
+
+// shed is the pool's displacement hook: a strictly higher-priority
+// submission arrived at a full queue and this job was the lowest-
+// priority queued work. It fails immediately and observably — clients
+// see a terminal status with a "shed:" cause and may resubmit — and is
+// counted apart from execution failures.
+func (j *Job) shed() {
+	s := j.svc
+	if j.finishQueued(StatusFailed, "shed: displaced from a full queue by a higher-priority submission",
+		func(m *metrics, t *tenantStats) { m.shed.Add(1); t.shed.Add(1) }) {
+		s.logf("job %s (tenant %s, priority %d): shed by a higher-priority submission",
+			j.ID, j.Req.Tenant, j.Req.Priority)
+	}
+}
+
 // run executes the job on a pool worker. poolCtx is the pool's lifetime
 // context (cancelled by Service.Close); the job's own cancellation is
-// layered on top.
+// layered on top. A transient failure re-queues the job with backoff
+// instead of finishing it.
 func (j *Job) run(poolCtx context.Context) {
 	s := j.svc
-	ctx, cancel := context.WithCancel(poolCtx)
-	defer cancel()
 
 	j.mu.Lock()
 	if j.status.Terminal() {
-		// Cancelled while queued: RequestCancel already finalized the
-		// job and its metrics; the dequeued task is a no-op.
+		// Cancelled or shed while queued: already finalized; the
+		// dequeued task is a no-op.
 		j.mu.Unlock()
 		return
 	}
-	if poolCtx.Err() != nil {
-		// The pool is shutting down before this job ever started.
-		j.status = StatusCancelled
-		j.err = "cancelled before start"
-		j.finishedAt = now()
-		j.mu.Unlock()
-		s.metrics.queued.Add(-1)
-		s.metrics.cancelled.Add(1)
-		s.flight.Forget(j.key)
-		j.publishDone(StatusCancelled)
-		j.stream.close()
+	requested := j.cancelRequested
+	j.mu.Unlock()
+	if requested || poolCtx.Err() != nil {
+		// The pool is shutting down, or a cancel landed in the instant
+		// between request and finalization: never start.
+		j.finishQueued(StatusCancelled, "cancelled before start",
+			func(m *metrics, _ *tenantStats) { m.cancelled.Add(1) })
 		return
 	}
+
+	ctx, cancel := context.WithCancel(poolCtx)
+	defer cancel()
+	j.mu.Lock()
+	if j.status != StatusQueued { // finalized in the window above
+		j.mu.Unlock()
+		return
+	}
+	first := j.retries == 0
 	j.status = StatusRunning
 	j.cancel = cancel
-	j.startedAt = now()
+	if first {
+		j.startedAt = now()
+	}
 	j.mu.Unlock()
 	s.metrics.queued.Add(-1)
 	s.metrics.running.Add(1)
+	if first {
+		s.journal.append(journalRecord{Op: opStart, ID: j.ID})
+		j.publishStart()
+	}
 
-	j.publishStart()
-	text, summary, err := s.execute(ctx, j)
+	text, summary, err := s.executeGuarded(ctx, j)
+
+	// Transient failures retry with backoff — unless the job was
+	// cancelled (the context died) or the failure is deterministic, in
+	// which case re-running would only reproduce it.
+	if err != nil && ctx.Err() == nil && errors.Is(err, ErrTransient) && s.scheduleRetry(j, err) {
+		return
+	}
 
 	j.mu.Lock()
 	switch {
@@ -223,14 +303,18 @@ func (j *Job) run(poolCtx context.Context) {
 	}
 	j.finishedAt = now()
 	status := j.status
+	errMsg := j.err
 	latency := j.finishedAt.Sub(j.submittedAt)
 	j.mu.Unlock()
 
 	s.metrics.running.Add(-1)
 	s.metrics.observeLatency(latency)
+	ts := s.metrics.tenant(j.Req.Tenant)
+	ts.queued.Add(-1)
 	switch status {
 	case StatusDone:
 		s.metrics.done.Add(1)
+		ts.done.Add(1)
 	case StatusCancelled:
 		s.metrics.cancelled.Add(1)
 		s.flight.Forget(j.key)
@@ -238,8 +322,112 @@ func (j *Job) run(poolCtx context.Context) {
 		s.metrics.failed.Add(1)
 		s.flight.Forget(j.key)
 	}
+	s.journal.append(journalRecord{Op: opFinish, ID: j.ID, Status: status, Error: errMsg})
 	j.publishDone(status)
 	j.stream.close()
+}
+
+// executeGuarded runs execute with the worker panic guard: a panicking
+// job (a simulation bug, or an injected fault) fails transiently instead
+// of killing the pool worker and the daemon with it. The stack goes to
+// the log; the job error stays one line.
+func (s *Service) executeGuarded(ctx context.Context, j *Job) (text string, summary *ResultSummary, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("job %s: recovered worker panic: %v\n%s", j.ID, r, debug.Stack())
+			text, summary = "", nil
+			err = fmt.Errorf("%w: worker panic: %v", ErrTransient, r)
+		}
+	}()
+	if s.faults.firePanic() {
+		panic("injected worker panic (FaultConfig.PanicEvery)")
+	}
+	return s.execute(ctx, j)
+}
+
+// scheduleRetry re-queues a transiently failed job with exponential
+// backoff and jitter. It refuses — returning false, leaving the job for
+// normal finalization — when the service is draining, the job was
+// cancelled, or the attempt budget is spent.
+func (s *Service) scheduleRetry(j *Job, cause error) bool {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return false
+	}
+	j.mu.Lock()
+	if j.cancelRequested || j.status.Terminal() || j.retries+1 >= s.retry.MaxAttempts {
+		j.mu.Unlock()
+		return false
+	}
+	j.retries++
+	attempt := j.retries
+	j.status = StatusQueued
+	j.cancel = nil
+	// Gauges flip inside the critical section so a concurrent cancel of
+	// the now-queued job settles against consistent counts.
+	s.metrics.running.Add(-1)
+	s.metrics.queued.Add(1)
+	delay := s.retryDelay(attempt)
+	j.retryTimer = time.AfterFunc(delay, func() { s.resubmit(j) })
+	j.mu.Unlock()
+
+	s.metrics.retried.Add(1)
+	s.journal.append(journalRecord{Op: opRetry, ID: j.ID, Attempt: attempt, Error: cause.Error()})
+	j.stream.publish(retryEvent{Type: "retry", Job: j.ID, Attempt: attempt, DelayS: delay.Seconds(), Error: cause.Error()})
+	s.logf("job %s: transient failure (attempt %d/%d), retrying in %s: %v",
+		j.ID, attempt, s.retry.MaxAttempts, delay.Round(time.Millisecond), cause)
+	return true
+}
+
+// scheduleResubmit arms a short backoff before feeding a queued job back
+// into the pool — used when the pool queue is momentarily full (a
+// recovery flood deeper than the queue).
+func (s *Service) scheduleResubmit(j *Job) {
+	j.mu.Lock()
+	if j.status == StatusQueued && !j.cancelRequested {
+		j.retryTimer = time.AfterFunc(s.retryDelay(1), func() { s.resubmit(j) })
+	}
+	j.mu.Unlock()
+}
+
+// resubmit puts a backoff-expired job back on the pool. A still-full
+// queue backs off again; a closed pool fails the job — the drain
+// deadline passed while it waited.
+func (s *Service) resubmit(j *Job) {
+	j.mu.Lock()
+	j.retryTimer = nil
+	if j.status != StatusQueued {
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Unlock()
+	err := s.submitToPool(j)
+	switch {
+	case err == nil:
+	case errors.Is(err, par.ErrPoolFull):
+		s.scheduleResubmit(j)
+	default:
+		j.finishQueued(StatusFailed, "service shut down before the retry could run: "+err.Error(),
+			func(m *metrics, _ *tenantStats) { m.failed.Add(1) })
+	}
+}
+
+// fireRetryNow collapses a pending retry backoff to zero — the draining
+// service wants every queued job in the pool before it waits.
+func (j *Job) fireRetryNow() {
+	j.mu.Lock()
+	t := j.retryTimer
+	if t == nil || !t.Stop() {
+		// No backoff pending, or the timer already fired and resubmit
+		// owns the job now.
+		j.mu.Unlock()
+		return
+	}
+	j.retryTimer = nil
+	j.mu.Unlock()
+	j.svc.resubmit(j)
 }
 
 // --- telemetry stream ---------------------------------------------------------
@@ -256,6 +444,16 @@ type lifecycleEvent struct {
 	Kind   string `json:"kind,omitempty"`
 	Status Status `json:"status,omitempty"`
 	Error  string `json:"error,omitempty"`
+}
+
+// retryEvent announces a transient failure and the backoff before the
+// next attempt.
+type retryEvent struct {
+	Type    string  `json:"type"`
+	Job     string  `json:"job"`
+	Attempt int     `json:"attempt"`
+	DelayS  float64 `json:"delay_s"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // sampleEvent is one recorded trace sample (single-cell scenario jobs).
@@ -283,7 +481,7 @@ type cellEvent struct {
 // streamEvent is the decode-side union of every stream line — what
 // clients (and the tests) unmarshal into.
 type streamEvent struct {
-	// Type is "start", "sample", "cell" or "done".
+	// Type is "start", "sample", "cell", "retry" or "done".
 	Type string `json:"type"`
 	Job  string `json:"job,omitempty"`
 	Kind string `json:"kind,omitempty"`
@@ -301,6 +499,9 @@ type streamEvent struct {
 	ExecTimeS  float64  `json:"exec_time_s,omitempty"`
 	EnergyJ    float64  `json:"energy_j,omitempty"`
 	PeakTempC  float64  `json:"peak_temp_c,omitempty"`
+
+	Attempt int     `json:"attempt,omitempty"`
+	DelayS  float64 `json:"delay_s,omitempty"`
 
 	Status Status `json:"status,omitempty"`
 	Error  string `json:"error,omitempty"`

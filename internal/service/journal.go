@@ -1,0 +1,426 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The write-ahead job journal: one append-only NDJSON file recording
+// every job's lifecycle (submit / start / retry / finish), so a daemon
+// restart — graceful or SIGKILL — can re-run exactly the work it had
+// accepted but not completed. Requests are deterministic, which keeps
+// recovery simple: re-submit the uncompleted records under their
+// original ids and let the single-flight request cache absorb any
+// duplicates; re-running yields byte-identical results.
+//
+// Durability model (group commit): Append buffers a record and returns;
+// a dedicated flusher goroutine writes and fsyncs everything buffered in
+// one batch — records that arrive during an fsync share the next one, so
+// the fsync cost amortizes across concurrent submitters instead of
+// serializing them. AppendSync additionally waits until its record is on
+// disk; submit records use it, so a job acknowledged to a client (HTTP
+// 202) is always recovered. Lifecycle records (start/retry/finish) are
+// fire-and-forget: losing one to a crash only means the job is re-run,
+// which is free by determinism.
+//
+// The file is bounded: past compactAt bytes it is rewritten (write to a
+// temp file, fsync, rename) to hold only the submit records of live
+// jobs. Recovery performs the same compaction, so the journal never
+// accumulates completed history across restarts.
+//
+// Failure tolerance: corrupt or truncated records (a torn tail from a
+// crash mid-write) are skipped and counted, never fatal; duplicate
+// submits or finishes for one id are idempotent; write errors — real or
+// injected via FaultConfig.JournalErrEvery — are counted and logged,
+// degrading durability, never availability.
+
+// Journal record operations.
+const (
+	opSubmit = "submit"
+	opStart  = "start"
+	opRetry  = "retry"
+	opCancel = "cancel"
+	opFinish = "finish"
+)
+
+// journalRecord is one NDJSON line of the write-ahead job journal.
+type journalRecord struct {
+	// Seq orders records within one journal epoch.
+	Seq int64 `json:"seq"`
+	// Op is the lifecycle step: submit, start, retry, cancel, finish.
+	Op string `json:"op"`
+	// ID is the job id ("j42") the record describes.
+	ID string `json:"id"`
+	// Status is the terminal state of a finish record.
+	Status Status `json:"status,omitempty"`
+	// Error carries the failure/cancellation reason (finish, retry).
+	Error string `json:"error,omitempty"`
+	// Attempt counts completed executions (retry records).
+	Attempt int `json:"attempt,omitempty"`
+	// Req is the normalized request (submit records only) — everything
+	// recovery needs to re-run the job, tenant and priority included.
+	Req *JobRequest `json:"req,omitempty"`
+}
+
+// journal is the running half: an open file, a pending buffer, and the
+// flusher goroutine batching fsyncs.
+type journal struct {
+	path      string
+	compactAt int64
+	faults    *faultState
+	m         *metrics
+	logf      func(format string, args ...any)
+	// snapshot returns the submit records of every live (non-terminal)
+	// job — the compacted image of the journal.
+	snapshot func() []journalRecord
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        *os.File
+	pending  []byte
+	appendN  int64 // seq of the newest buffered record
+	flushedN int64 // seq of the newest record on disk
+	size     int64
+	closed   bool
+	done     chan struct{}
+}
+
+// defaultCompactBytes bounds journal growth when Options leave it 0.
+const defaultCompactBytes = 1 << 20
+
+// openJournal opens (creating if needed) the journal file and starts the
+// flusher. The caller performs recovery first (readJournal) and passes
+// the compacted live image via rewrite before appending anything new.
+func openJournal(path string, compactAt int64, faults *faultState, m *metrics,
+	logf func(string, ...any), snapshot func() []journalRecord) (*journal, error) {
+	if compactAt <= 0 {
+		compactAt = defaultCompactBytes
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	j := &journal{
+		path:      path,
+		compactAt: compactAt,
+		faults:    faults,
+		m:         m,
+		logf:      logf,
+		snapshot:  snapshot,
+		f:         f,
+		size:      st.Size(),
+		done:      make(chan struct{}),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	go j.flusher()
+	return j, nil
+}
+
+// append encodes rec, assigns its seq, and buffers it for the flusher.
+// It returns the assigned seq (0 when the record was dropped by an
+// injected or encoding error).
+func (j *journal) append(rec journalRecord) int64 {
+	if j == nil {
+		return 0
+	}
+	if j.faults.fireJournalErr() {
+		j.m.journalErrors.Add(1)
+		j.logf("journal: injected write error, dropped %s record for %s", rec.Op, rec.ID)
+		return 0
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return 0
+	}
+	j.appendN++
+	rec.Seq = j.appendN
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		j.appendN--
+		j.mu.Unlock()
+		j.m.journalErrors.Add(1)
+		j.logf("journal: encoding %s record for %s: %v", rec.Op, rec.ID, err)
+		return 0
+	}
+	j.pending = append(j.pending, raw...)
+	j.pending = append(j.pending, '\n')
+	seq := j.appendN
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	return seq
+}
+
+// appendSync appends rec and waits until it is fsynced — the durability
+// barrier for submit records: once appendSync returns, recovery will see
+// the job. Group commit keeps this cheap under load: every waiter whose
+// record made the batch is released by one fsync.
+func (j *journal) appendSync(rec journalRecord) {
+	if j == nil {
+		return
+	}
+	seq := j.append(rec)
+	if seq == 0 {
+		return
+	}
+	j.mu.Lock()
+	for j.flushedN < seq && !j.closed {
+		j.cond.Wait()
+	}
+	j.mu.Unlock()
+}
+
+// flusher is the group-commit loop: write everything pending, fsync
+// once, release waiters, compact when the file has outgrown its bound.
+func (j *journal) flusher() {
+	defer close(j.done)
+	j.mu.Lock()
+	for {
+		for len(j.pending) == 0 && !j.closed {
+			j.cond.Wait()
+		}
+		if len(j.pending) == 0 && j.closed {
+			j.mu.Unlock()
+			return
+		}
+		batch := j.pending
+		j.pending = nil
+		target := j.appendN
+		f := j.f
+		j.mu.Unlock()
+
+		var werr error
+		if _, werr = f.Write(batch); werr == nil {
+			werr = f.Sync()
+		}
+
+		j.mu.Lock()
+		j.flushedN = target
+		if werr != nil {
+			j.m.journalErrors.Add(1)
+			j.logf("journal: write: %v", werr)
+		} else {
+			j.size += int64(len(batch))
+			j.m.journalAppends.Add(1)
+			j.m.journalBytes.Set(j.size)
+		}
+		j.cond.Broadcast()
+		if j.size > j.compactAt && !j.closed && j.snapshot != nil {
+			recs := func() []journalRecord {
+				j.mu.Unlock()
+				defer j.mu.Lock()
+				return j.snapshot()
+			}()
+			if err := j.rewriteLocked(recs); err != nil {
+				j.logf("journal: compaction: %v", err)
+			}
+		}
+	}
+}
+
+// rewriteLocked replaces the journal file with exactly recs (temp file +
+// fsync + rename), resetting its size. Caller holds j.mu. Pending buffered
+// records are untouched — they flush to the new file, and recovery
+// tolerates the duplicate submits this can produce.
+func (j *journal) rewriteLocked(recs []journalRecord) error {
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var size int64
+	for i := range recs {
+		j.appendN++
+		recs[i].Seq = j.appendN
+		raw, err := json.Marshal(recs[i])
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		raw = append(raw, '\n')
+		if _, err := f.Write(raw); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		size += int64(len(raw))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Direct durability of the rename on the containing directory.
+	if dir, err := os.Open(filepath.Dir(j.path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	old := j.f
+	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	old.Close()
+	j.f = nf
+	j.size = size
+	j.m.journalBytes.Set(size)
+	j.m.journalCompactions.Add(1)
+	return nil
+}
+
+// close flushes whatever is pending and closes the file.
+func (j *journal) close() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		<-j.done
+		return
+	}
+	// Final flush inline: the flusher may be mid-batch, so drain our own
+	// copy after it exits.
+	j.closed = true
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	<-j.done
+	j.mu.Lock()
+	batch := j.pending
+	j.pending = nil
+	f := j.f
+	j.mu.Unlock()
+	if len(batch) > 0 {
+		if _, err := f.Write(batch); err == nil {
+			_ = f.Sync()
+		}
+	}
+	f.Close()
+}
+
+// recoveredJob is one uncompleted submit found in the journal.
+type recoveredJob struct {
+	id  string
+	req *JobRequest
+	seq int64
+}
+
+// journalScan is the outcome of reading a journal file.
+type journalScan struct {
+	// pending are the uncompleted submits, in original submission order.
+	pending []recoveredJob
+	// maxID is the highest numeric job id seen ("j42" → 42), so a
+	// recovering service never reuses an id from a previous epoch.
+	maxID int
+	// skipped counts corrupt or truncated records (torn tail included).
+	skipped int
+	// dupFinishes counts redundant terminal records — tolerated, logged.
+	dupFinishes int
+}
+
+// readJournal scans an NDJSON journal, tolerating a torn final record,
+// corrupt lines anywhere (skip and count), duplicate submits for one id
+// (first wins — a compaction artifact) and duplicate finishes
+// (idempotent). Records are order-insensitive: a finish seen before its
+// submit still marks the id terminal. A missing file is an empty journal.
+func readJournal(path string) (journalScan, error) {
+	var scan journalScan
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return scan, nil
+	}
+	if err != nil {
+		return scan, fmt.Errorf("service: reading journal: %w", err)
+	}
+	defer f.Close()
+
+	submits := make(map[string]recoveredJob)
+	terminal := make(map[string]bool)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Op == "" || rec.ID == "" {
+			scan.skipped++
+			continue
+		}
+		if n, ok := parseJobID(rec.ID); ok && n > scan.maxID {
+			scan.maxID = n
+		}
+		switch rec.Op {
+		case opSubmit:
+			if rec.Req == nil {
+				scan.skipped++
+				continue
+			}
+			if _, dup := submits[rec.ID]; dup {
+				continue // compaction duplicate; first wins
+			}
+			submits[rec.ID] = recoveredJob{id: rec.ID, req: rec.Req, seq: rec.Seq}
+			order = append(order, rec.ID)
+		case opFinish:
+			if terminal[rec.ID] {
+				scan.dupFinishes++
+				continue
+			}
+			terminal[rec.ID] = true
+		case opStart, opRetry, opCancel:
+			// Lifecycle breadcrumbs: informative, not state-changing
+			// (a cancel *request* may never land; only finish is
+			// terminal).
+		default:
+			// Unknown op from a newer epoch: ignore, don't fail.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// A torn tail longer than the scan buffer or a read error: what
+		// parsed so far stands, the rest is skipped.
+		scan.skipped++
+	}
+	for _, id := range order {
+		if !terminal[id] {
+			scan.pending = append(scan.pending, submits[id])
+		}
+	}
+	sort.Slice(scan.pending, func(a, b int) bool { return scan.pending[a].seq < scan.pending[b].seq })
+	return scan, nil
+}
+
+// parseJobID extracts the numeric part of a "j<n>" job id.
+func parseJobID(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "j")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

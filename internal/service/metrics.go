@@ -8,11 +8,38 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"teem/internal/buildinfo"
 )
 
 // latencyWindow bounds the sliding window the latency percentiles are
 // computed over: the last latencyWindow finished jobs.
 const latencyWindow = 512
+
+// tenantStats are one tenant's admission counters: how much work it has
+// in the system right now and how admission control has treated it.
+type tenantStats struct {
+	// queued is the tenant's non-terminal job gauge (queued + running).
+	queued expvar.Int
+	// submitted counts accepted new jobs (cache hits excluded).
+	submitted expvar.Int
+	// done counts successful completions.
+	done expvar.Int
+	// shed counts queued jobs displaced by higher-priority submissions.
+	shed expvar.Int
+	// quotaRejected counts submissions refused by the tenant's quota.
+	quotaRejected expvar.Int
+}
+
+func (t *tenantStats) vars() map[string]int64 {
+	return map[string]int64{
+		"queued":         t.queued.Value(),
+		"submitted":      t.submitted.Value(),
+		"done":           t.done.Value(),
+		"shed":           t.shed.Value(),
+		"quota_rejected": t.quotaRejected.Value(),
+	}
+}
 
 // metrics are the service's operational counters, held as expvar types
 // so the daemon can publish them into the process-wide expvar registry
@@ -26,13 +53,43 @@ type metrics struct {
 	cancelled expvar.Int
 	cacheHits expvar.Int
 
+	// Robustness counters: load shedding, transient-failure retries,
+	// quota rejections, journal health and crash recovery.
+	shed               expvar.Int
+	retried            expvar.Int
+	quotaRejected      expvar.Int
+	recoveries         expvar.Int
+	recoverySkipped    expvar.Int
+	journalAppends     expvar.Int
+	journalErrors      expvar.Int
+	journalCompactions expvar.Int
+	journalBytes       expvar.Int
+
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantStats
+
 	mu        sync.Mutex
 	latencies []float64 // seconds, ring of the last latencyWindow
 	latIdx    int
 }
 
 func newMetrics() *metrics {
-	return &metrics{latencies: make([]float64, 0, latencyWindow)}
+	return &metrics{
+		latencies: make([]float64, 0, latencyWindow),
+		tenants:   make(map[string]*tenantStats),
+	}
+}
+
+// tenant returns (creating if needed) the named tenant's counters.
+func (m *metrics) tenant(name string) *tenantStats {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	t, ok := m.tenants[name]
+	if !ok {
+		t = &tenantStats{}
+		m.tenants[name] = t
+	}
+	return t
 }
 
 func (m *metrics) observeLatency(d time.Duration) {
@@ -71,24 +128,66 @@ func (v *Metrics) Failed() int64    { return v.m.failed.Value() }
 func (v *Metrics) Cancelled() int64 { return v.m.cancelled.Value() }
 func (v *Metrics) CacheHits() int64 { return v.m.cacheHits.Value() }
 
+// Shed counts queued jobs displaced by higher-priority submissions;
+// Retried counts transient-failure re-executions; QuotaRejected counts
+// submissions refused by tenant quotas; Recoveries counts jobs re-run
+// from the journal at startup.
+func (v *Metrics) Shed() int64          { return v.m.shed.Value() }
+func (v *Metrics) Retried() int64       { return v.m.retried.Value() }
+func (v *Metrics) QuotaRejected() int64 { return v.m.quotaRejected.Value() }
+func (v *Metrics) Recoveries() int64    { return v.m.recoveries.Value() }
+
+// JournalAppends/JournalErrors/JournalBytes report write-ahead journal
+// health: fsynced batches, dropped or failed writes, and current file
+// size after compaction keeps it bounded.
+func (v *Metrics) JournalAppends() int64 { return v.m.journalAppends.Value() }
+func (v *Metrics) JournalErrors() int64  { return v.m.journalErrors.Value() }
+func (v *Metrics) JournalBytes() int64   { return v.m.journalBytes.Value() }
+
 // LatencyP50 and LatencyP99 are the job submit→finish latency
 // percentiles over the last latencyWindow finished jobs, in seconds.
 func (v *Metrics) LatencyP50() float64 { return v.m.percentile(0.50) }
 func (v *Metrics) LatencyP99() float64 { return v.m.percentile(0.99) }
 
+// Tenant returns the named tenant's counters as a map (queued,
+// submitted, done, shed, quota_rejected).
+func (v *Metrics) Tenant(name string) map[string]int64 {
+	return v.m.tenant(name).vars()
+}
+
 // vars returns the metric set as a JSON-marshalable map — served at
 // /metrics and published to expvar by PublishExpvar.
 func (v *Metrics) vars() map[string]any {
-	return map[string]any{
-		"jobs_queued":    v.Queued(),
-		"jobs_running":   v.Running(),
-		"jobs_done":      v.Done(),
-		"jobs_failed":    v.Failed(),
-		"jobs_cancelled": v.Cancelled(),
-		"cache_hits":     v.CacheHits(),
-		"latency_p50_s":  v.LatencyP50(),
-		"latency_p99_s":  v.LatencyP99(),
+	m := map[string]any{
+		"version":             buildinfo.Version,
+		"jobs_queued":         v.Queued(),
+		"jobs_running":        v.Running(),
+		"jobs_done":           v.Done(),
+		"jobs_failed":         v.Failed(),
+		"jobs_cancelled":      v.Cancelled(),
+		"jobs_shed":           v.Shed(),
+		"jobs_retried":        v.Retried(),
+		"cache_hits":          v.CacheHits(),
+		"quota_rejected":      v.QuotaRejected(),
+		"recoveries":          v.Recoveries(),
+		"recovery_skipped":    v.m.recoverySkipped.Value(),
+		"journal_appends":     v.JournalAppends(),
+		"journal_errors":      v.JournalErrors(),
+		"journal_compactions": v.m.journalCompactions.Value(),
+		"journal_bytes":       v.JournalBytes(),
+		"latency_p50_s":       v.LatencyP50(),
+		"latency_p99_s":       v.LatencyP99(),
 	}
+	tenants := map[string]map[string]int64{}
+	v.m.tenantMu.Lock()
+	for name, t := range v.m.tenants {
+		tenants[name] = t.vars()
+	}
+	v.m.tenantMu.Unlock()
+	if len(tenants) > 0 {
+		m["tenants"] = tenants
+	}
+	return m
 }
 
 // ServeHTTP serves the metric set as JSON (the /metrics endpoint).
@@ -117,9 +216,16 @@ func (v *Metrics) PublishExpvar() {
 			"teemd.jobs_done":      func() any { return m.done.Value() },
 			"teemd.jobs_failed":    func() any { return m.failed.Value() },
 			"teemd.jobs_cancelled": func() any { return m.cancelled.Value() },
+			"teemd.jobs_shed":      func() any { return m.shed.Value() },
+			"teemd.jobs_retried":   func() any { return m.retried.Value() },
 			"teemd.cache_hits":     func() any { return m.cacheHits.Value() },
+			"teemd.quota_rejected": func() any { return m.quotaRejected.Value() },
+			"teemd.recoveries":     func() any { return m.recoveries.Value() },
+			"teemd.journal_errors": func() any { return m.journalErrors.Value() },
+			"teemd.journal_bytes":  func() any { return m.journalBytes.Value() },
 			"teemd.latency_p50_s":  func() any { return m.percentile(0.50) },
 			"teemd.latency_p99_s":  func() any { return m.percentile(0.99) },
+			"teemd.version":        func() any { return buildinfo.Version },
 		} {
 			expvar.Publish(name, expvar.Func(fn))
 		}
@@ -128,7 +234,7 @@ func (v *Metrics) PublishExpvar() {
 
 // String renders a one-line summary for logs.
 func (v *Metrics) String() string {
-	return fmt.Sprintf("queued=%d running=%d done=%d failed=%d cancelled=%d cache_hits=%d p50=%.3fs p99=%.3fs",
-		v.Queued(), v.Running(), v.Done(), v.Failed(), v.Cancelled(), v.CacheHits(),
-		v.LatencyP50(), v.LatencyP99())
+	return fmt.Sprintf("queued=%d running=%d done=%d failed=%d cancelled=%d shed=%d retried=%d cache_hits=%d recoveries=%d p50=%.3fs p99=%.3fs",
+		v.Queued(), v.Running(), v.Done(), v.Failed(), v.Cancelled(), v.Shed(), v.Retried(),
+		v.CacheHits(), v.Recoveries(), v.LatencyP50(), v.LatencyP99())
 }

@@ -1,0 +1,132 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrQuotaExceeded reports a submission rejected by per-tenant admission
+// control: the tenant's token bucket is empty or its active-job cap is
+// reached. Transports surface it as 429 with a Retry-After hint (the
+// rejection is always wrapped in a *RetryError).
+var ErrQuotaExceeded = errors.New("service: tenant quota exceeded")
+
+// RetryError wraps an admission rejection with a backoff hint: how long
+// the client should wait before retrying. The HTTP layer turns it into
+// 429 Too Many Requests with a Retry-After header — per-tenant pressure
+// answers "come back later", not a blanket 503.
+type RetryError struct {
+	// After is the suggested backoff before retrying.
+	After time.Duration
+	// Err is the underlying rejection (ErrQuotaExceeded or ErrBusy).
+	Err error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.Err, e.After.Round(time.Millisecond))
+}
+
+func (e *RetryError) Unwrap() error { return e.Err }
+
+// TenantQuota bounds one tenant's admission.
+type TenantQuota struct {
+	// RatePerSec refills the tenant's submission token bucket: sustained
+	// new-job submissions per second (0 = unlimited rate). Cache hits
+	// cost nothing — the bucket guards simulation work, not lookups.
+	RatePerSec float64
+	// Burst is the bucket capacity (0 with RatePerSec > 0 = ceil(rate),
+	// at least 1).
+	Burst int
+	// MaxActive caps the tenant's queued + running jobs (0 = unlimited),
+	// so one tenant cannot occupy the whole pool queue.
+	MaxActive int
+}
+
+// QuotaConfig is the per-tenant admission policy of a Service.
+type QuotaConfig struct {
+	// Default applies to every tenant without an explicit entry.
+	Default TenantQuota
+	// Tenants overrides the default per tenant name.
+	Tenants map[string]TenantQuota
+}
+
+// quotaFor resolves the quota for a tenant.
+func (q *QuotaConfig) quotaFor(tenant string) TenantQuota {
+	if q == nil {
+		return TenantQuota{}
+	}
+	if t, ok := q.Tenants[tenant]; ok {
+		return t
+	}
+	return q.Default
+}
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotas is the runtime admission state: lazily created buckets per
+// tenant.
+type quotas struct {
+	cfg *QuotaConfig
+	mu  sync.Mutex
+	b   map[string]*bucket
+}
+
+func newQuotas(cfg *QuotaConfig) *quotas {
+	if cfg == nil {
+		return nil
+	}
+	return &quotas{cfg: cfg, b: make(map[string]*bucket)}
+}
+
+// take consumes one token from the tenant's bucket. A dry bucket returns
+// ErrQuotaExceeded wrapped with the refill time of the next token.
+func (q *quotas) take(tenant string) error {
+	if q == nil {
+		return nil
+	}
+	tq := q.cfg.quotaFor(tenant)
+	if tq.RatePerSec <= 0 {
+		return nil
+	}
+	burst := float64(tq.Burst)
+	if burst <= 0 {
+		burst = math.Ceil(tq.RatePerSec)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := now()
+	b, ok := q.b[tenant]
+	if !ok {
+		b = &bucket{tokens: burst, last: t}
+		q.b[tenant] = b
+	}
+	b.tokens = math.Min(burst, b.tokens+tq.RatePerSec*t.Sub(b.last).Seconds())
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return nil
+	}
+	wait := time.Duration((1 - b.tokens) / tq.RatePerSec * float64(time.Second))
+	return &RetryError{
+		After: wait,
+		Err:   fmt.Errorf("%w: tenant %q over %g submissions/s", ErrQuotaExceeded, tenant, tq.RatePerSec),
+	}
+}
+
+// maxActive returns the tenant's active-job cap (0 = unlimited).
+func (q *quotas) maxActive(tenant string) int {
+	if q == nil {
+		return 0
+	}
+	return q.cfg.quotaFor(tenant).MaxActive
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"teem/internal/mapping"
 	"teem/internal/scenario"
@@ -62,6 +63,34 @@ type JobRequest struct {
 	// Map is the Fig. 5 CPU mapping (KindFig5; zero value = the
 	// paper's 2L+4B headline mapping).
 	Map *mapping.Mapping `json:"map,omitempty"`
+
+	// Tenant names the submitting client for quota accounting and
+	// admission control ("" = "default"). Tenants do not share cache
+	// entries: the same scenario submitted by two tenants runs twice, so
+	// cancellation and accounting stay per-tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders the job queue (higher first; 0 default). A full
+	// queue admits a submission only by shedding a strictly
+	// lower-priority queued job — cross-tenant, lowest first. Like
+	// Workers, Priority only changes scheduling and does not participate
+	// in the request hash.
+	Priority int `json:"priority,omitempty"`
+}
+
+// validTenant bounds tenant names to a metrics- and log-safe charset.
+func validTenant(t string) bool {
+	if len(t) > 64 {
+		return false
+	}
+	for _, r := range t {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // jobPlan is a request's resolved work — scenarios and governor columns
@@ -95,6 +124,12 @@ func (s *Service) normalize(req *JobRequest) (*JobRequest, string, *jobPlan, err
 	case "exact", "euler":
 	default:
 		return nil, "", nil, fmt.Errorf("service: unknown integrator %q (want exact or euler)", n.Integrator)
+	}
+	if n.Tenant == "" {
+		n.Tenant = "default"
+	}
+	if !validTenant(n.Tenant) {
+		return nil, "", nil, fmt.Errorf("service: invalid tenant %q (want ≤64 chars of [A-Za-z0-9._-])", req.Tenant)
 	}
 
 	// Validate the scenario source now so submission — not execution —
@@ -147,10 +182,12 @@ func (s *Service) normalize(req *JobRequest) (*JobRequest, string, *jobPlan, err
 	}
 	n.Governors = govs
 
-	// The cache key hashes the resolved plan: kind, integrator, the
-	// scenarios' canonical JSON, the governor list, and the mapping.
+	// The cache key hashes the resolved plan: tenant, kind, integrator,
+	// the scenarios' canonical JSON, the governor list, and the mapping.
+	// Workers and Priority are excluded — they only change scheduling,
+	// never bytes.
 	h := sha256.New()
-	fmt.Fprintf(h, "kind=%s\nintegrator=%s\n", n.Kind, n.Integrator)
+	fmt.Fprintf(h, "tenant=%s\nkind=%s\nintegrator=%s\n", n.Tenant, n.Kind, n.Integrator)
 	for _, sc := range scs {
 		var b bytes.Buffer
 		if err := sc.Save(&b); err != nil {
@@ -263,9 +300,16 @@ func (s *Service) execute(ctx context.Context, j *Job) (string, *ResultSummary, 
 		// The plan was resolved and validated at submission; execution
 		// never re-decodes the request.
 		scs, govs := j.plan.scs, j.plan.govs
+		onCell := j.publishCell
+		if d := s.faults.slowCell(); d > 0 {
+			onCell = func(r *scenario.Result) {
+				time.Sleep(d)
+				j.publishCell(r)
+			}
+		}
 		rc := scenario.Config{
 			Integrator: integ,
-			OnCell:     j.publishCell,
+			OnCell:     onCell,
 		}
 		if len(scs)*len(govs) == 1 {
 			// A single cell has an unambiguous telemetry stream:

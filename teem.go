@@ -430,9 +430,31 @@ func NewExperimentsWith(o ExperimentOptions) (*Experiments, error) {
 type Service = service.Service
 
 // ServiceOptions configure a Service: worker-pool size, queued-job
-// admission bound, the shared experiment environment, and how many
-// finished jobs stay queryable.
+// admission bound, the shared experiment environment, how many finished
+// jobs stay queryable, the write-ahead journal path, per-tenant quotas,
+// the transient-failure retry policy, and fault injection.
 type ServiceOptions = service.Options
+
+// TenantQuota bounds one tenant's admission: sustained submissions per
+// second (token bucket), burst, and a cap on queued+running jobs.
+type TenantQuota = service.TenantQuota
+
+// QuotaConfig is a Service's per-tenant admission policy: a default
+// quota plus per-tenant overrides.
+type QuotaConfig = service.QuotaConfig
+
+// RetryPolicy governs how transient job failures (recovered worker
+// panics) are re-executed: attempt budget, backoff base and cap.
+type RetryPolicy = service.RetryPolicy
+
+// FaultConfig injects deterministic failures into a Service for soak
+// and chaos testing: forced worker panics, dropped journal appends and
+// slowed grid cells.
+type FaultConfig = service.FaultConfig
+
+// RetryError is an admission rejection carrying a backoff hint; the
+// HTTP layer renders it as 429 with a Retry-After header.
+type RetryError = service.RetryError
 
 // ServiceJob is one managed simulation inside a Service: poll it with
 // Snapshot, read a finished run with Result, follow live telemetry with
