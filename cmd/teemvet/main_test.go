@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTeemvet compiles the teemvet binary once per test binary.
+func buildTeemvet(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "teemvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building teemvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// run executes the binary in dir and returns stdout+stderr and the exit
+// code.
+func runVet(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running teemvet: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// writeModule lays out a throwaway module for the binary to vet. files
+// maps relative paths to contents; a minimal go.mod is added.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.24\n"
+	for rel, src := range files {
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// A module with a wall-clock read inside a deterministic-core package
+// path must fail the gate with a positioned determinism finding.
+func TestSeededViolationExitsNonZero(t *testing.T) {
+	bin := buildTeemvet(t)
+	dir := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `// Package sim is a seeded-violation fixture.
+package sim
+
+import "time"
+
+// Stamp leaks the wall clock into the deterministic core.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	out, code := runVet(t, bin, dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	for _, needle := range []string{"sim.go:7:", "time.Now reads the wall clock", "[determinism]"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// The same construct outside the deterministic core is not a violation —
+// the clean module exits zero with no findings.
+func TestCleanModuleExitsZero(t *testing.T) {
+	bin := buildTeemvet(t)
+	dir := writeModule(t, map[string]string{
+		"internal/clockd/clockd.go": `// Package clockd is wall-clock country; the core checks stay silent.
+package clockd
+
+import "time"
+
+// Stamp is fine here.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	out, code := runVet(t, bin, dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("expected no output, got:\n%s", out)
+	}
+}
+
+// The production tree itself must hold every invariant: this is the
+// process-level twin of internal/analysis's TestTreeIsClean, proving the
+// shipped binary (not just the library) gates cleanly over ./...
+func TestRealTreeIsClean(t *testing.T) {
+	bin := buildTeemvet(t)
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, code := runVet(t, bin, root, "./...")
+	if code != 0 {
+		t.Fatalf("teemvet over the real tree: exit %d\n%s", code, out)
+	}
+}
+
+// -run selects a subset; an unknown name is an operational error (2).
+func TestRunSubsetAndUnknownAnalyzer(t *testing.T) {
+	bin := buildTeemvet(t)
+	dir := writeModule(t, map[string]string{
+		"internal/sim/sim.go": `// Package sim trips determinism but not apicontract.
+package sim
+
+import "time"
+
+// Stamp leaks the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	if out, code := runVet(t, bin, dir, "-run", "apicontract", "./..."); code != 0 {
+		t.Errorf("apicontract-only run: exit %d, want 0\n%s", code, out)
+	}
+	if out, code := runVet(t, bin, dir, "-run", "determinism", "./..."); code != 1 {
+		t.Errorf("determinism-only run: exit %d, want 1\n%s", code, out)
+	}
+	if _, code := runVet(t, bin, dir, "-run", "nope", "./..."); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+}

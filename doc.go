@@ -70,4 +70,11 @@
 // Package teem re-exports the stable surface of these internal packages
 // as type aliases and constructor wrappers; go doc on the individual
 // internal packages documents each layer in depth.
+//
+// The invariants the layers rely on — determinism in the simulation
+// core, zero-allocation //teem:hotpath functions, //teem:guards mutex
+// discipline, errors.Is for sentinels — are statically enforced by the
+// in-tree analysis suite (internal/analysis, run as `make lint` via
+// cmd/teemvet); docs/static-analysis.md catalogues the analyzers and
+// their waiver annotations.
 package teem

@@ -1,3 +1,5 @@
 module teem
 
 go 1.24
+
+tool teem/cmd/teemvet

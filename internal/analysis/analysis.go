@@ -1,0 +1,201 @@
+// Package analysis is teemvet's static-analysis engine: a small,
+// dependency-free counterpart of golang.org/x/tools/go/analysis that
+// statically enforces the repo's determinism, hot-path allocation,
+// lock-discipline and API-contract invariants (docs/static-analysis.md).
+//
+// The framework mirrors the upstream shape — an Analyzer holds a Run
+// function over a Pass of type-checked files — but loads packages itself
+// via `go list -export` and the standard library importer, because the
+// module deliberately has no external dependencies. Analyzers are
+// flow-insensitive and syntax-driven: they trade precision for being
+// cheap, deterministic and reviewable, and every deliberate exception in
+// checked code is an explicit //teem: annotation rather than analyzer
+// magic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("determinism", ...).
+	Name string
+	// Doc is the one-paragraph description printed by teemvet -help.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full teemvet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Hotpath, Guards, APIContract}
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position (deterministic output for gating and tests).
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Types.Path(), err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ---- //teem: annotation plumbing ----
+//
+// Annotations are directive comments (no space after //, like //go:).
+// Three placements matter:
+//
+//   - function directives (//teem:hotpath) live in the doc comment group
+//     of a FuncDecl;
+//   - field directives (//teem:guards mu) live in a struct field's doc or
+//     trailing comment;
+//   - statement waivers (//teem:order-insensitive, //teem:alloc-ok) are
+//     honored on the flagged statement's own line or the line directly
+//     above it.
+
+const directivePrefix = "//teem:"
+
+// directiveValue returns the argument of the named //teem: directive in a
+// comment group, and whether the directive is present at all
+// ("//teem:guards mu" → "mu", true).
+func directiveValue(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix+name)
+		if !ok {
+			continue
+		}
+		// A piggy-backed comment ("//teem:guards mu // why") is not part
+		// of the directive's argument.
+		if i := strings.Index(rest, "//"); i >= 0 {
+			rest = rest[:i]
+		}
+		if rest == "" {
+			return "", true
+		}
+		if rest[0] == ' ' || rest[0] == '\t' {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// hasDirective reports whether a comment group carries //teem:<name>.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	_, ok := directiveValue(doc, name)
+	return ok
+}
+
+// waiverLines collects, per file, the set of lines carrying the named
+// waiver directive anywhere in a comment. A finding at line L is waived
+// when the directive sits on L (trailing comment) or L-1 (its own line).
+func waiverLines(fset *token.FileSet, files []*ast.File, name string) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix+name) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// waived reports whether the position is covered by a waiver set from
+// waiverLines.
+func waived(fset *token.FileSet, lines map[string]map[int]bool, pos token.Pos) bool {
+	p := fset.Position(pos)
+	m := lines[p.Filename]
+	return m != nil && (m[p.Line] || m[p.Line-1])
+}
+
+// funcObj resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, conversions and dynamic calls through function
+// values.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,172 @@
+// Package analysistest runs teemvet analyzers over fixture packages under
+// testdata, checking reported diagnostics against // want comments — the
+// same contract as golang.org/x/tools/go/analysis/analysistest, rebuilt
+// on the repo's dependency-free analysis engine.
+//
+// A fixture is one package per directory. Every line that should trigger
+// a finding carries a trailing comment of quoted regular expressions:
+//
+//	for k := range m { // want `range over map`
+//
+// Each regexp must match exactly one diagnostic on that line and every
+// diagnostic must be claimed by a want — surplus findings and unmatched
+// wants both fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"teem/internal/analysis"
+)
+
+// Run applies one analyzer to the fixture package in dir, type-checked
+// under the import path pkgPath (determinism keys off the path — use a
+// deterministic-core path like "teem/internal/sim" to arm it).
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath, dir string) {
+	t.Helper()
+	pkg, wants := load(t, pkgPath, dir)
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatalf("running %s over %s: %v", a.Name, dir, err)
+	}
+	check(t, diags, wants)
+}
+
+// want is one expected-diagnostic pattern, positioned and consumable.
+type want struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func load(t *testing.T, pkgPath, dir string) (*analysis.Package, []*want) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			imports[p] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	var imp []string
+	for p := range imports {
+		imp = append(imp, p)
+	}
+	sort.Strings(imp)
+	importer, err := analysis.StdImporter(fset, imp...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types, info, err := analysis.Check(pkgPath, fset, files, importer)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return &analysis.Package{Fset: fset, Files: files, Types: types, Info: info},
+		collectWants(t, fset, files)
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may open the comment or trail a //teem:
+				// directive that is itself under test.
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				text := c.Text[i+len("// want "):]
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, pos, text) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses the sequence of Go-quoted strings after "want"
+// (double quotes or backquotes, as in upstream analysistest).
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: want patterns must be quoted strings, got %q", pos, s)
+		}
+		p, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: unquoting %q: %v", pos, q, err)
+		}
+		out = append(out, p)
+		s = s[len(q):]
+	}
+}
+
+func check(t *testing.T, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		if w := claim(wants, d); w == nil {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func claim(wants []*want, d analysis.Diagnostic) *want {
+	base := filepath.Base(d.Pos.Filename)
+	for _, w := range wants {
+		if !w.used && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.used = true
+			return w
+		}
+	}
+	return nil
+}

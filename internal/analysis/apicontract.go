@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"unicode"
+	"unicode/utf8"
+)
+
+// APIContract enforces two conventions the serving and pool layers'
+// error contracts depend on:
+//
+//   - sentinel errors (package-level Err* variables such as par.ErrPoolFull
+//     or sim.ErrAborted) must be matched with errors.Is, never ==/!= or a
+//     switch case — the service layer wraps sentinels with %w (e.g.
+//     "aborted at t=3s: ..."), so identity comparison silently stops
+//     matching the moment anyone adds context to an error;
+//   - context.Context parameters come first, matching the stdlib and
+//     every RunCtx/ForEachCtx-style API already in the tree.
+var APIContract = &Analyzer{
+	Name: "apicontract",
+	Doc: "require errors.Is for Err* sentinels and context.Context-first signatures\n\n" +
+		"Flags ==/!= (and switch cases) against package-level Err* sentinel variables,\n" +
+		"which break under %w wrapping, and function declarations that accept a\n" +
+		"context.Context anywhere but as the first parameter.",
+	Run: runAPIContract,
+}
+
+func runAPIContract(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, op := range []ast.Expr{n.X, n.Y} {
+					if v := sentinelVar(pass.TypesInfo, op); v != nil {
+						pass.Reportf(n.Pos(), "%s compared with %s; sentinels may be wrapped — use errors.Is(err, %s)", v.Name(), n.Op, v.Name())
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if v := sentinelVar(pass.TypesInfo, e); v != nil {
+							pass.Reportf(e.Pos(), "switch case matches %s by identity; sentinels may be wrapped — use errors.Is(err, %s)", v.Name(), v.Name())
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				checkCtxFirst(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelVar returns the package-level Err* error variable an expression
+// refers to, or nil.
+func sentinelVar(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	name := v.Name()
+	if len(name) <= 3 || name[:3] != "Err" {
+		return nil
+	}
+	if r, _ := utf8.DecodeRuneInString(name[3:]); !unicode.IsUpper(r) {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !types.Implements(v.Type(), errType) {
+		return nil
+	}
+	return v
+}
+
+// checkCtxFirst reports context.Context parameters that are not the
+// function's first parameter.
+func checkCtxFirst(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, fld := range fn.Type.Params.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass.TypesInfo.Types[fld.Type].Type) && idx > 0 {
+			pass.Reportf(fld.Pos(), "context.Context should be the first parameter of %s", fn.Name.Name)
+		}
+		idx += n
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"teem/internal/analysis"
+	"teem/internal/analysis/analysistest"
+)
+
+func TestAPIContract(t *testing.T) {
+	analysistest.Run(t, analysis.APIContract, "teem/internal/fixture", "testdata/src/apicontract")
+}

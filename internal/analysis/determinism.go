@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// coreSuffixes names the deterministic core: the packages whose outputs
+// the equality gates (serial-vs-parallel grids, journal replay, superstep
+// agreement) require to be byte-identical run over run. Matching is by
+// import-path suffix so fixtures and forks of the module are checked the
+// same way.
+var coreSuffixes = []string{
+	"internal/sim",
+	"internal/thermal",
+	"internal/scenario",
+	"internal/experiments",
+	"internal/governor",
+	"internal/power",
+	"internal/mapping",
+	"internal/profile",
+}
+
+func inDeterministicCore(path string) bool {
+	for _, s := range coreSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Determinism forbids nondeterminism sources in the deterministic core:
+// wall-clock reads (time.Now and friends), the process-seeded math/rand
+// package-level generator, and iteration over maps (whose order Go
+// randomizes on purpose). A map range that provably cannot influence
+// ordered output carries a //teem:order-insensitive waiver with a reason.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, unseeded math/rand and map iteration in the deterministic core\n\n" +
+		"The simulation core is gated on bit-exact reproducibility (serial vs parallel,\n" +
+		"journal replay, superstep agreement). This analyzer makes the three classic\n" +
+		"nondeterminism sources unrepresentable in those packages: time.Now-style clock\n" +
+		"reads, the package-level math/rand generator (seeded per process), and ranging\n" +
+		"over maps. Confirmed-safe map ranges carry //teem:order-insensitive waivers.",
+	Run: runDeterminism,
+}
+
+// wallClockFuncs are the time-package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// seededRandCtors are the math/rand functions that construct explicitly
+// seeded generators — the sanctioned way to use randomness in the core.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !inDeterministicCore(pass.Pkg.Path()) {
+		return nil
+	}
+	waivers := waiverLines(pass.Fset, pass.Files, "order-insensitive")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				fn, ok := pass.TypesInfo.Uses[n].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods (e.g. on *rand.Rand) are fine
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if wallClockFuncs[fn.Name()] && !waived(pass.Fset, waivers, n.Pos()) {
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock in the deterministic core; thread simulated time instead", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededRandCtors[fn.Name()] && !waived(pass.Fset, waivers, n.Pos()) {
+						pass.Reportf(n.Pos(), "%s.%s uses the process-seeded global generator; use rand.New(rand.NewSource(seed)) threaded from the config", fn.Pkg().Name(), fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.TypesInfo.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if waived(pass.Fset, waivers, n.Pos()) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "range over map iterates in randomized order in the deterministic core; iterate sorted keys, or waive with //teem:order-insensitive and a reason")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"teem/internal/analysis"
+	"teem/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	// Loaded under a deterministic-core import path: the checks are armed.
+	analysistest.Run(t, analysis.Determinism, "teem/internal/sim", "testdata/src/determinism")
+}
+
+func TestDeterminismNonCore(t *testing.T) {
+	// The same nondeterminism sources outside the core must be silent.
+	analysistest.Run(t, analysis.Determinism, "teem/internal/service", "testdata/src/determinism_noncore")
+}

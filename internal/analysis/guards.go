@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Guards enforces the lock discipline declared on struct fields: a field
+// annotated //teem:guards <mutex> may only be touched inside functions
+// that lock that mutex. The check is deliberately flow-insensitive — the
+// function must *contain* a <mutex>.Lock/RLock call somewhere, it is not
+// proved to dominate the access — which keeps it cheap and predictable;
+// the race detector stays the ground truth and this analyzer catches the
+// common regression of a new accessor forgetting the lock entirely.
+//
+// Helpers that are documented to run with the lock already held are named
+// with a Locked suffix (the repo's existing convention, e.g.
+// journal.rewriteLocked) and are exempt.
+var Guards = &Analyzer{
+	Name: "guards",
+	Doc: "require //teem:guards-annotated struct fields to be accessed under their mutex\n\n" +
+		"A struct field carrying //teem:guards mu may only be selected inside\n" +
+		"functions that also call mu.Lock/RLock (flow-insensitive), or inside\n" +
+		"helpers named *Locked, which are called with the lock held by contract.\n" +
+		"Covers the job/journal state in internal/service, the par.Pool queue and\n" +
+		"the core.Manager model store.",
+	Run: runGuards,
+}
+
+// lockMethods are the acquisition entry points of sync.Mutex/RWMutex.
+// (Try variants count: the guarded branch follows a successful acquire.)
+var lockMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
+func runGuards(pass *Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // called with the lock held, by naming contract
+			}
+			held := lockedMutexes(fn.Body)
+			reported := make(map[*types.Var]bool)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+				if !ok || reported[v] {
+					return true
+				}
+				mu, ok := guarded[v]
+				if !ok || held[mu] {
+					return true
+				}
+				reported[v] = true
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is guarded by %s (//teem:guards) but %s does not lock it; acquire %s.Lock/RLock or name the helper *Locked",
+					v.Name(), mu, fn.Name.Name, mu)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields maps each annotated struct field object to the
+// name of the mutex field guarding it, validating the annotation against
+// the struct's own fields.
+func collectGuardedFields(pass *Pass) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu, ok := directiveValue(fld.Doc, "guards")
+				if !ok {
+					mu, ok = directiveValue(fld.Comment, "guards")
+				}
+				if !ok {
+					continue
+				}
+				if mu == "" {
+					pass.Reportf(fld.Pos(), "//teem:guards needs the guarding mutex field name")
+					continue
+				}
+				// The mutex name is the first token; anything after it is
+				// free-form prose ("//teem:guards mu — why").
+				mu = strings.Fields(mu)[0]
+				if !fieldNames[mu] {
+					pass.Reportf(fld.Pos(), "//teem:guards names %q, which is not a field of this struct", mu)
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockedMutexes returns the set of mutex field names the function body
+// acquires somewhere (x.mu.Lock(), x.mu.RLock(), ...).
+func lockedMutexes(body *ast.BlockStmt) map[string]bool {
+	held := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !lockMethods[sel.Sel.Name] {
+			return true
+		}
+		switch x := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			held[x.Sel.Name] = true // p.mu.Lock()
+		case *ast.Ident:
+			held[x.Name] = true // mu.Lock() on a package-level or local mutex
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"teem/internal/analysis"
+	"teem/internal/analysis/analysistest"
+)
+
+func TestGuards(t *testing.T) {
+	analysistest.Run(t, analysis.Guards, "teem/internal/fixture", "testdata/src/guards")
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath gates functions annotated //teem:hotpath against allocating
+// constructs. These are the steady-state loops whose zero-allocation
+// behaviour the AllocsPerRun tests sample dynamically; the analyzer makes
+// the property syntactic so a regression is a lint failure, not a flaky
+// benchmark delta.
+//
+// Two escape hatches keep the check honest on real code:
+//
+//   - cold exits: a construct inside a conditional block that terminates
+//     in return (or panic) is not flagged — validation and error paths
+//     allocate their fmt.Errorf exactly when the steady state is already
+//     over;
+//   - //teem:alloc-ok waives a deliberate allocation on that line, e.g.
+//     an amortized arena-growth branch or a lazy one-time buffer, with
+//     the reason in the comment.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc: "forbid allocating constructs in //teem:hotpath functions\n\n" +
+		"Functions annotated //teem:hotpath (the per-tick co-simulation loop, the\n" +
+		"thermal integrators, power evaluation, trace append, superstep jumps) must\n" +
+		"not touch the heap in steady state. Flags fmt calls, make/new/append,\n" +
+		"slice/map/escaping literals, closures, goroutine starts, string\n" +
+		"concatenation and interface boxing, except on cold exit paths (blocks\n" +
+		"ending in return/panic) or lines waived with //teem:alloc-ok <reason>.",
+	Run: runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	waivers := waiverLines(pass.Fset, pass.Files, "alloc-ok")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, "hotpath") {
+				continue
+			}
+			h := &hotChecker{
+				pass:    pass,
+				waivers: waivers,
+				fname:   fn.Name.Name,
+				cold:    coldRanges(fn.Body),
+			}
+			ast.Inspect(fn.Body, h.check)
+		}
+	}
+	return nil
+}
+
+type hotChecker struct {
+	pass    *Pass
+	waivers map[string]map[int]bool
+	fname   string
+	cold    []posRange
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+// coldRanges collects the spans of conditional blocks that terminate in
+// return or panic: code in them runs at most once per call and never in
+// the steady-state loop the annotation protects. The function's own body
+// is excluded — every function ends by returning.
+func coldRanges(body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			if n == body {
+				return true
+			}
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		if terminatesFlow(list) {
+			out = append(out, posRange{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// terminatesFlow reports whether a statement list ends by leaving the
+// function (return, panic, or an os.Exit-like bare call is not modeled —
+// return and panic cover the tree).
+func terminatesFlow(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+func (h *hotChecker) exempt(pos token.Pos) bool {
+	for _, r := range h.cold {
+		if r.lo <= pos && pos < r.hi {
+			return true
+		}
+	}
+	return waived(h.pass.Fset, h.waivers, pos)
+}
+
+func (h *hotChecker) reportf(pos token.Pos, format string, args ...any) {
+	if h.exempt(pos) {
+		return
+	}
+	args = append(args, h.fname)
+	h.pass.Reportf(pos, format+" in hot path %s (move off the steady path or waive with //teem:alloc-ok <reason>)", args...)
+}
+
+func (h *hotChecker) check(n ast.Node) bool {
+	info := h.pass.TypesInfo
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		// Builtins.
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "make":
+					h.reportf(n.Pos(), "make allocates")
+				case "new":
+					h.reportf(n.Pos(), "new allocates")
+				case "append":
+					h.reportf(n.Pos(), "append may grow its backing array")
+				}
+				return true
+			}
+		}
+		// fmt.* always allocates (boxing its variadic operands at least).
+		if fn := funcObj(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			h.reportf(n.Pos(), "fmt.%s allocates", fn.Name())
+			return true
+		}
+		// Conversions: to interface (boxing) and string<->[]byte/[]rune.
+		if tv, ok := info.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+			dst := tv.Type
+			src := info.Types[n.Args[0]].Type
+			if src == nil {
+				return true
+			}
+			if types.IsInterface(dst.Underlying()) && !types.IsInterface(src.Underlying()) {
+				h.reportf(n.Pos(), "conversion to %s boxes its operand", dst)
+			}
+			if isStringBytesConv(dst, src) {
+				h.reportf(n.Pos(), "conversion between string and byte/rune slice copies")
+			}
+		}
+	case *ast.CompositeLit:
+		t := info.Types[n].Type
+		if t == nil {
+			return true
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice:
+			h.reportf(n.Pos(), "slice literal allocates")
+		case *types.Map:
+			h.reportf(n.Pos(), "map literal allocates")
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				h.reportf(n.Pos(), "address of composite literal heap-allocates")
+			}
+		}
+	case *ast.FuncLit:
+		h.reportf(n.Pos(), "closure allocates")
+		return false
+	case *ast.GoStmt:
+		h.reportf(n.Pos(), "go statement allocates a goroutine")
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if t := info.Types[n].Type; t != nil && isString(t) {
+				h.reportf(n.Pos(), "string concatenation allocates")
+			}
+		}
+	}
+	return true
+}
+
+func isStringBytesConv(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isString(src) && isByteOrRuneSlice(dst))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"teem/internal/analysis"
+	"teem/internal/analysis/analysistest"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysis.Hotpath, "teem/internal/fixture", "testdata/src/hotpath")
+}

@@ -1,0 +1,86 @@
+// Package fixture exercises the apicontract analyzer: Err* sentinels are
+// matched with errors.Is (never == / != / switch), and context.Context
+// parameters come first.
+package fixture
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrNotFound is a sentinel in the repo's style.
+var ErrNotFound = errors.New("not found")
+
+// errInternal is unexported and not part of any API contract.
+var errInternal = errors.New("internal")
+
+// ErrCount is Err-prefixed but not an error; identity comparison is fine.
+var ErrCount = 3
+
+func eq(err error) bool {
+	return err == ErrNotFound // want `ErrNotFound compared with ==`
+}
+
+func neq(err error) bool {
+	return ErrNotFound != err // want `ErrNotFound compared with !=`
+}
+
+func isOK(err error) bool {
+	return errors.Is(err, ErrNotFound)
+}
+
+func lowercaseOK(err error) bool {
+	return err == errInternal
+}
+
+func nonErrorOK(x int) bool {
+	return x == ErrCount
+}
+
+func nilCompareOK(err error) bool {
+	return err == nil
+}
+
+func switchErr(err error) string {
+	switch err {
+	case ErrNotFound: // want `switch case matches ErrNotFound by identity`
+		return "nf"
+	case nil:
+		return ""
+	}
+	return "other"
+}
+
+func typeSwitchOK(v any) string {
+	switch v.(type) {
+	case error:
+		return "err"
+	}
+	return ""
+}
+
+func ctxFirstOK(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+func ctxSecond(name string, ctx context.Context) error { // want `context.Context should be the first parameter of ctxSecond`
+	_ = name
+	return ctx.Err()
+}
+
+func noCtxOK(a, b int) int { return a + b }
+
+type handler struct{}
+
+// Do's receiver does not count as a parameter.
+func (h handler) Do(ctx context.Context, q string) error {
+	_ = q
+	return ctx.Err()
+}
+
+func callbackOK(fn func(name string, ctx context.Context)) {
+	// Only declarations are checked; function-typed parameters are the
+	// callee's business.
+	fn("x", context.Background())
+}

@@ -1,0 +1,68 @@
+// Package fixture exercises the determinism analyzer. The test loads it
+// under a deterministic-core import path (teem/internal/sim), arming the
+// checks.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func durationOK() time.Duration {
+	// Pure duration arithmetic never touches the clock.
+	return 3 * time.Second
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn uses the process-seeded global generator`
+}
+
+func globalShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want `rand.Shuffle uses the process-seeded global generator`
+}
+
+func seededOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // methods on an explicitly seeded generator are fine
+}
+
+func mapRange(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `range over map iterates in randomized order`
+		sum += v
+	}
+	return sum
+}
+
+func mapRangeWaived(m map[string]int) int {
+	sum := 0
+	//teem:order-insensitive summation is commutative
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func mapRangeWaivedTrailing(m map[string]int) int {
+	n := 0
+	for range m { //teem:order-insensitive counting is order-free
+		n++
+	}
+	return n
+}
+
+func sliceRangeOK(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,21 @@
+// Package fixture holds the same nondeterminism sources as the
+// determinism fixture, but the test loads it under a non-core import
+// path — nothing may be reported.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time { return time.Now() }
+
+func globalRand() int { return rand.Intn(10) }
+
+func mapRange(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,69 @@
+// Package fixture exercises the guards analyzer: //teem:guards fields
+// must be touched only by functions that lock the named mutex, helpers
+// named *Locked are exempt by convention, and composite-literal
+// construction is not an access.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+
+	items map[string]int //teem:guards mu
+	hits  int            //teem:guards mu
+	name  string         // unguarded
+}
+
+func (s *store) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+func (s *store) unsafeGet(k string) int {
+	return s.items[k] // want `field items is guarded by mu`
+}
+
+func (s *store) rawBump() {
+	s.hits++ // want `field hits is guarded by mu`
+}
+
+func (s *store) bumpLocked() {
+	s.hits++ // *Locked helpers run with the lock held by contract
+}
+
+func (s *store) Name() string {
+	return s.name // unguarded fields are free
+}
+
+func newStore() *store {
+	return &store{items: map[string]int{}} // keyed construction is not an access
+}
+
+func (s *store) doubleTouch() (int, int) {
+	a := s.hits // want `field hits is guarded by mu`
+	b := s.hits // reported once per function and field
+	return a, b
+}
+
+func useAll() {
+	s := newStore()
+	s.get("a")
+	s.unsafeGet("a")
+	s.rawBump()
+	s.bumpLocked()
+	s.Name()
+	s.doubleTouch()
+}
+
+type badAnnot struct {
+	mu sync.Mutex
+	x  int //teem:guards lock // want `names "lock", which is not a field of this struct`
+	y  int //teem:guards // want `needs the guarding mutex field name`
+}
+
+func (b *badAnnot) touch() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.x + b.y
+}

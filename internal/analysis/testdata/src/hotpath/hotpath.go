@@ -1,0 +1,97 @@
+// Package fixture exercises the hotpath analyzer: annotated functions
+// are gated, cold exit paths and //teem:alloc-ok waivers are exempt, and
+// unannotated functions are ignored.
+package fixture
+
+import "fmt"
+
+type point struct{ x, y int }
+
+//teem:hotpath
+func hotMake(n int) []int {
+	s := make([]int, n) // want `make allocates`
+	return s
+}
+
+//teem:hotpath
+func hotNew() *point {
+	return new(point) // want `new allocates`
+}
+
+//teem:hotpath
+func hotFmt(x int) {
+	fmt.Println(x) // want `fmt.Println allocates`
+}
+
+//teem:hotpath
+func hotColdExit(b []byte, n int) ([]byte, error) {
+	if n < 0 {
+		// Error paths end the steady state; their allocations are free.
+		return nil, fmt.Errorf("bad n %d", n)
+	}
+	return b[:n], nil
+}
+
+//teem:hotpath
+func hotPanicExit(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("bad %d", n)) // cold exit via panic
+	}
+	return n
+}
+
+//teem:hotpath
+func hotAppend(s []int, v int) []int {
+	return append(s, v) // want `append may grow its backing array`
+}
+
+//teem:hotpath
+func hotWaived(s []int, v int) []int {
+	//teem:alloc-ok amortized growth, presized by the caller
+	return append(s, v)
+}
+
+//teem:hotpath
+func hotLits() int {
+	s := []int{1, 2}       // want `slice literal allocates`
+	m := map[string]int{}  // want `map literal allocates`
+	p := &point{x: 1}      // want `address of composite literal heap-allocates`
+	v := point{x: 1, y: 2} // a value struct literal stays on the stack
+	return len(s) + len(m) + p.x + v.y
+}
+
+//teem:hotpath
+func hotClosure() func() int {
+	n := 0
+	return func() int { n++; return n } // want `closure allocates`
+}
+
+//teem:hotpath
+func hotBox(v int) any {
+	return any(v) // want `boxes its operand`
+}
+
+//teem:hotpath
+func hotStringConv(b []byte) string {
+	return string(b) // want `conversion between string and byte/rune slice copies`
+}
+
+//teem:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//teem:hotpath
+func hotGo(f func()) {
+	go f() // want `go statement allocates a goroutine`
+}
+
+//teem:hotpath
+func hotIndexOK(s []float64, i int) float64 {
+	// Slicing, indexing and arithmetic are free.
+	return s[i : i+1][0] * 2
+}
+
+func coldUnannotated(n int) []int {
+	return make([]int, n) // unannotated functions are not checked
+}

@@ -213,7 +213,7 @@ type Manager struct {
 	params Params
 
 	mu     sync.RWMutex
-	models map[string]*AppModel
+	models map[string]*AppModel //teem:guards mu
 }
 
 // NewManager builds a TEEM manager for a platform.

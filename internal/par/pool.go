@@ -86,13 +86,15 @@ type Pool struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   taskQueue
+	mu   sync.Mutex
+	cond *sync.Cond
+	// depth is immutable after NewPool; everything below the mutex is
+	// the admission state the workers and submitters race on.
 	depth   int
-	seq     int64
-	closed  bool
-	running int
+	queue   taskQueue //teem:guards mu
+	seq     int64     //teem:guards mu
+	closed  bool      //teem:guards mu
+	running int       //teem:guards mu
 }
 
 // NewPool starts workers goroutines servicing a queue of depth queue.

@@ -115,6 +115,8 @@ func (m *Model) voltageFor(i, freqMHz int) float64 {
 func (m *Model) Platform() *soc.Platform { return m.plat }
 
 // ClusterPower returns (dynamic, leakage) watts of cluster i under load l.
+//
+//teem:hotpath
 func (m *Model) ClusterPower(i int, l ClusterLoad) (dynW, leakW float64, err error) {
 	if i < 0 || i >= len(m.plat.Clusters) {
 		return 0, 0, fmt.Errorf("power: cluster index %d out of range", i)
@@ -207,6 +209,8 @@ func (m *Model) Evaluate(loads []ClusterLoad, memGBs float64) (*Breakdown, error
 // caller-owned b, reusing its slices when they have capacity — the
 // zero-allocation path of the per-tick co-simulation loop. On error b is
 // left unspecified.
+//
+//teem:hotpath
 func (m *Model) EvaluateInto(b *Breakdown, loads []ClusterLoad, memGBs float64) error {
 	if len(loads) != len(m.plat.Clusters) {
 		return fmt.Errorf("power: got %d loads for %d clusters", len(loads), len(m.plat.Clusters))
@@ -231,6 +235,8 @@ func (m *Model) EvaluateInto(b *Breakdown, loads []ClusterLoad, memGBs float64) 
 
 // growFloats returns s resized to n, reusing its backing array when large
 // enough.
+//
+//teem:hotpath
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)

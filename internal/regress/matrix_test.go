@@ -1,6 +1,7 @@
 package regress
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -86,7 +87,7 @@ func TestQRRejectsRankDeficient(t *testing.T) {
 		a.Set(i, 0, float64(i+1))
 		a.Set(i, 1, 3*float64(i+1))
 	}
-	if _, err := factorQR(a); err != ErrSingular {
+	if _, err := factorQR(a); !errors.Is(err, ErrSingular) {
 		t.Errorf("factorQR rank-deficient: got %v, want ErrSingular", err)
 	}
 }

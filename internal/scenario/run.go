@@ -119,6 +119,7 @@ func RunCtx(ctx context.Context, sc *Scenario, rc Config) (*Result, error) {
 		net = thermal.Exynos5422Network()
 	}
 	registry := builtinGovernors()
+	//teem:order-insensitive map-to-map merge: the resulting registry is the same set whatever the iteration order
 	for name, f := range rc.Governors {
 		registry[name] = f
 	}

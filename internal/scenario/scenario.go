@@ -37,6 +37,8 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"strings"
 
@@ -268,8 +270,11 @@ func (s *Scenario) Validate(extra map[string]GovernorFactory) error {
 	// Each departure consumes one submission: more departures than
 	// arrivals of an app (or of one tagged instance) can never all
 	// resolve — catch the authoring error statically instead of
-	// flagging the surplus departure as a runtime violation.
-	for key, n := range depCount {
+	// flagging the surplus departure as a runtime violation. Keys are
+	// checked in sorted order so a scenario with several surplus
+	// departures always reports the same one.
+	for _, key := range slices.Sorted(maps.Keys(depCount)) {
+		n := depCount[key]
 		if n > arrCount[key] {
 			app := key
 			if k := strings.IndexByte(key, 0); k >= 0 {

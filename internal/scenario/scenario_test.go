@@ -51,6 +51,32 @@ func TestBuilderAndValidation(t *testing.T) {
 	}
 }
 
+// Validation diagnostics must be deterministic: with several apps each
+// having surplus departures, the surplus-departure check used to report
+// whichever key a map iteration yielded first, so repeated Validate calls
+// on the same scenario could name different apps. The keys are now
+// checked in sorted order (teemvet's determinism analyzer flags the bare
+// map range).
+func TestValidateSurplusDepartureDeterministic(t *testing.T) {
+	b := New("surplus").
+		ArriveDefault(0, "COVARIANCE").
+		ArriveDefault(0, "MVT").
+		Depart(1, "COVARIANCE").
+		Depart(1, "MVT").
+		Depart(2, "COVARIANCE").
+		Depart(2, "MVT")
+	sc := &b.s // unvalidated: Build would reject the surplus departures
+	for i := 0; i < 50; i++ {
+		err := sc.Validate(nil)
+		if err == nil {
+			t.Fatal("surplus departures accepted")
+		}
+		if !strings.Contains(err.Error(), "COVARIANCE") {
+			t.Fatalf("run %d: error reports %q, want the sorted-first app COVARIANCE every time", i, err)
+		}
+	}
+}
+
 func TestJSONRoundTrip(t *testing.T) {
 	s := RushHour()
 	var buf bytes.Buffer

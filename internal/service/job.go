@@ -54,19 +54,20 @@ type Job struct {
 	plan *jobPlan
 
 	mu              sync.Mutex
-	status          Status
-	err             string
-	text            string
-	summary         *ResultSummary
-	cancel          context.CancelFunc
-	cancelRequested bool
+	status          Status             //teem:guards mu
+	err             string             //teem:guards mu
+	text            string             //teem:guards mu
+	summary         *ResultSummary     //teem:guards mu
+	cancel          context.CancelFunc //teem:guards mu
+	cancelRequested bool               //teem:guards mu
 	// retries counts transient-failure re-executions so far; retryTimer
 	// is armed while the job waits out a backoff.
-	retries     int
-	retryTimer  *time.Timer
+	retries    int         //teem:guards mu
+	retryTimer *time.Timer //teem:guards mu
+	// submittedAt is written once in newJob, before the job is shared.
 	submittedAt time.Time
-	startedAt   time.Time
-	finishedAt  time.Time
+	startedAt   time.Time //teem:guards mu
+	finishedAt  time.Time //teem:guards mu
 }
 
 func newJob(id string, req *JobRequest, key string, svc *Service) *Job {

@@ -81,14 +81,15 @@ type journal struct {
 	// job — the compacted image of the journal.
 	snapshot func() []journalRecord
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	f        *os.File
-	pending  []byte
-	appendN  int64 // seq of the newest buffered record
-	flushedN int64 // seq of the newest record on disk
-	size     int64
-	closed   bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File //teem:guards mu
+	// pending buffers records between group-commit fsyncs.
+	pending  []byte //teem:guards mu
+	appendN  int64  //teem:guards mu — seq of the newest buffered record
+	flushedN int64  //teem:guards mu — seq of the newest record on disk
+	size     int64  //teem:guards mu
+	closed   bool   //teem:guards mu
 	done     chan struct{}
 }
 

@@ -66,11 +66,12 @@ type metrics struct {
 	journalBytes       expvar.Int
 
 	tenantMu sync.Mutex
-	tenants  map[string]*tenantStats
+	tenants  map[string]*tenantStats //teem:guards tenantMu
 
-	mu        sync.Mutex
-	latencies []float64 // seconds, ring of the last latencyWindow
-	latIdx    int
+	mu sync.Mutex
+	// latencies is a ring of the last latencyWindow samples, in seconds.
+	latencies []float64 //teem:guards mu
+	latIdx    int       //teem:guards mu
 }
 
 func newMetrics() *metrics {

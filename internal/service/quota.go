@@ -75,7 +75,7 @@ type bucket struct {
 type quotas struct {
 	cfg *QuotaConfig
 	mu  sync.Mutex
-	b   map[string]*bucket
+	b   map[string]*bucket //teem:guards mu
 }
 
 func newQuotas(cfg *QuotaConfig) *quotas {

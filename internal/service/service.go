@@ -157,13 +157,14 @@ type Service struct {
 	logf    func(format string, args ...any)
 
 	mu     sync.Mutex
-	closed bool
-	nextID int
-	jobs   map[string]*Job
-	order  []string // submission order, for listing and eviction
+	closed bool            //teem:guards mu
+	nextID int             //teem:guards mu
+	jobs   map[string]*Job //teem:guards mu
+	// order is the submission order, for listing and eviction.
+	order []string //teem:guards mu
 	// byKey names the job currently holding each request-cache key, so
 	// eviction never forgets a key a newer retained job owns.
-	byKey map[string]string
+	byKey map[string]string //teem:guards mu
 	keep  int
 
 	flight par.Flight[string, *Job]

@@ -14,8 +14,8 @@ import (
 type streamBuf struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	lines  [][]byte
-	closed bool
+	lines  [][]byte //teem:guards mu
+	closed bool     //teem:guards mu
 }
 
 func newStreamBuf() *streamBuf {

@@ -1184,6 +1184,8 @@ func (e *Engine) Run() (*Result, error) {
 // metering and trace recording. It allocates nothing at steady state. A
 // non-negative finishedAt is the in-tick offset at which the live job
 // completed.
+//
+//teem:hotpath
 func (e *Engine) tick(dt float64) (finishedAt float64, err error) {
 	// Cancellation: one non-blocking receive per tick, so an abort is
 	// observed within a single simulation step.
@@ -1242,6 +1244,7 @@ func (e *Engine) tick(dt float64) (finishedAt float64, err error) {
 	if t := e.therm.Temp(e.nodeOf[e.bigIdx]); t > e.peakBigC {
 		e.peakBigC = t
 		if e.peakTemps == nil {
+			//teem:alloc-ok lazy one-time snapshot buffer; the warm-up ticks of the alloc guard absorb it
 			e.peakTemps = make([]float64, len(e.cfg.Net.Nodes))
 		}
 		e.therm.CopyTemps(e.peakTemps)
@@ -1264,6 +1267,8 @@ func (e *Engine) tick(dt float64) (finishedAt float64, err error) {
 }
 
 // hwProtect applies the firmware trip/release behaviour on the big cluster.
+//
+//teem:hotpath
 func (e *Engine) hwProtect() {
 	bigNode := e.nodeOf[e.bigIdx]
 	t := e.therm.Temp(bigNode)
@@ -1293,6 +1298,8 @@ func (e *Engine) hwProtect() {
 // everything finished inside the tick, the offset (< dt) at which the last
 // chunk completed (-1 otherwise, including on idle ticks with no live
 // job, so an idle engine does not report a completion every tick).
+//
+//teem:hotpath
 func (e *Engine) advanceWork(dt float64) (cpuBusy, gpuBusy, rateCPU, rateGPU, finishedAt float64) {
 	finishedAt = -1
 	hadWork := e.remCPU > 0 || e.remGPU > 0
@@ -1342,6 +1349,8 @@ func (e *Engine) advanceWork(dt float64) (cpuBusy, gpuBusy, rateCPU, rateGPU, fi
 // the board power into the engine-owned breakdown. rateCPU/rateGPU are the
 // work-item rates advanceWork ran at (consulted only when the matching
 // busy fraction is non-zero).
+//
+//teem:hotpath
 func (e *Engine) evalPower(cpuBusy, gpuBusy, rateCPU, rateGPU float64) error {
 	for i := range e.loads {
 		l := &e.loads[i]
@@ -1379,6 +1388,8 @@ func (e *Engine) evalPower(cpuBusy, gpuBusy, rateCPU, rateGPU float64) error {
 // stepThermal injects the power breakdown into the RC network. The exact
 // propagator covers the fixed tick; Euler handles explicitly requested
 // reference runs and any off-tick step.
+//
+//teem:hotpath
 func (e *Engine) stepThermal(dt float64) error {
 	for i := range e.inj {
 		e.inj[i] = 0
@@ -1395,6 +1406,8 @@ func (e *Engine) stepThermal(dt float64) error {
 
 // record appends a trace sample; Append copies, so the engine's scratch
 // buffers can be handed over directly.
+//
+//teem:hotpath
 func (e *Engine) record(totalW float64) error {
 	e.therm.CopyTemps(e.recTemps)
 	err := e.tr.Append(trace.Sample{

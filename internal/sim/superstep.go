@@ -80,6 +80,8 @@ func (e *Engine) drained() bool {
 // monotone trajectory direction reported by thermal.Superstep.Jump makes
 // sufficient for the whole interval; a mixed-direction probe falls back
 // to fixed ticks.
+//
+//teem:hotpath
 func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 	if e.ssOff || e.stepper == nil {
 		return false, nil
@@ -282,6 +284,7 @@ func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 				copy(e.ssPool, e.ssPool[1:])
 				e.ssPool = e.ssPool[:len(e.ssPool)-1]
 			}
+			//teem:alloc-ok bounded propagator pool (ssPoolLimit entries), filled once per operating point
 			e.ssPool = append(e.ssPool, ss)
 			e.ss = ss
 		}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -15,7 +16,7 @@ func TestMean(t *testing.T) {
 	if got := Mean(nil); got != 0 {
 		t.Errorf("Mean(nil) = %g, want 0", got)
 	}
-	if _, err := MeanErr(nil); err != ErrEmpty {
+	if _, err := MeanErr(nil); !errors.Is(err, ErrEmpty) {
 		t.Errorf("MeanErr(nil) err = %v, want ErrEmpty", err)
 	}
 }
@@ -42,7 +43,7 @@ func TestMinMax(t *testing.T) {
 	if err != nil || lo != -1 || hi != 7 {
 		t.Errorf("MinMax = (%g,%g,%v), want (-1,7,nil)", lo, hi, err)
 	}
-	if _, _, err := MinMax(nil); err != ErrEmpty {
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
 		t.Error("MinMax(nil) should return ErrEmpty")
 	}
 }
@@ -66,7 +67,7 @@ func TestQuantileType7(t *testing.T) {
 	if q != 1 {
 		t.Errorf("Quantile(0) = %g, want 1", q)
 	}
-	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
 		t.Error("Quantile(nil) should return ErrEmpty")
 	}
 	if _, err := Quantile(xs, 1.5); err == nil {
@@ -92,7 +93,7 @@ func TestFiveNum(t *testing.T) {
 	if min != 1 || q1 != 2 || med != 3 || q3 != 4 || max != 5 {
 		t.Errorf("FiveNum = %g %g %g %g %g", min, q1, med, q3, max)
 	}
-	if _, _, _, _, _, err := FiveNum(nil); err != ErrEmpty {
+	if _, _, _, _, _, err := FiveNum(nil); !errors.Is(err, ErrEmpty) {
 		t.Error("FiveNum(nil) should return ErrEmpty")
 	}
 }

@@ -152,6 +152,8 @@ func (s *Stepper) Dt() float64 { return s.dt }
 
 // Step advances the bound model by the stepper's fixed dt with the given
 // per-node power injection in watts. It allocates nothing.
+//
+//teem:hotpath
 func (s *Stepper) Step(powerW []float64) error {
 	n := s.m.n
 	if len(powerW) != n {

@@ -136,6 +136,8 @@ func (ss *Superstep) Slope() []float64 { return ss.slope }
 // must fall back to fixed ticks, endpoint guards would not bound the
 // interior). Call Commit to apply a planned jump. Allocation-free once
 // the horizon's pair is cached.
+//
+//teem:hotpath
 func (ss *Superstep) Jump(nTicks int, constInjW []float64) (endTemps []float64, dir int, err error) {
 	ss.planned = false
 	n := ss.st.m.n
@@ -223,6 +225,8 @@ func (ss *Superstep) Jump(nTicks int, constInjW []float64) (endTemps []float64, 
 
 // Commit applies the temperatures of the last successful Jump to the
 // model.
+//
+//teem:hotpath
 func (ss *Superstep) Commit() error {
 	if !ss.planned {
 		return errors.New("thermal: Commit without a planned Jump")

@@ -230,6 +230,8 @@ func (m *Model) Reset() {
 // allocations. For a fixed dt the exact Stepper is both faster and more
 // accurate; Step remains the reference integrator and handles non-uniform
 // steps.
+//
+//teem:hotpath
 func (m *Model) Step(powerW []float64, dt float64) error {
 	if len(powerW) != len(m.temps) {
 		return fmt.Errorf("thermal: Step got %d powers, want %d", len(powerW), len(m.temps))
@@ -249,6 +251,7 @@ func (m *Model) Step(powerW []float64, dt float64) error {
 	return nil
 }
 
+//teem:hotpath
 func (m *Model) eulerStep(powerW []float64, h float64) {
 	for i := 0; i < m.n; i++ {
 		ti := m.temps[i]

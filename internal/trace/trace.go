@@ -88,6 +88,8 @@ func NewWithCap(nodeNames, clusterNames []string, expectedSamples int) *Trace {
 
 // Append adds a sample; series lengths must match the labels. The sample's
 // slices are copied, so callers may reuse their buffers across calls.
+//
+//teem:hotpath
 func (t *Trace) Append(s Sample) error {
 	if len(s.TempsC) != len(t.NodeNames) {
 		return fmt.Errorf("trace: sample has %d temps, want %d", len(s.TempsC), len(t.NodeNames))
@@ -101,12 +103,15 @@ func (t *Trace) Append(s Sample) error {
 	s.TempsC = t.copyFloats(s.TempsC)
 	s.Utils = t.copyFloats(s.Utils)
 	s.FreqsMHz = t.copyInts(s.FreqsMHz)
+	//teem:alloc-ok amortized sample-slice growth; NewWithCap presizes it away on the hot path
 	t.Samples = append(t.Samples, s)
 	return nil
 }
 
 // copyFloats copies src into arena-backed storage (nil stays nil, matching
 // a plain copying append).
+//
+//teem:hotpath
 func (t *Trace) copyFloats(src []float64) []float64 {
 	if len(src) == 0 {
 		return nil
@@ -120,6 +125,7 @@ func (t *Trace) copyFloats(src []float64) []float64 {
 		if sz < need {
 			sz = need
 		}
+		//teem:alloc-ok amortized arena-block growth, one make per block of samples
 		t.fArena = make([]float64, 0, sz)
 	}
 	base := len(t.fArena)
@@ -130,6 +136,8 @@ func (t *Trace) copyFloats(src []float64) []float64 {
 }
 
 // copyInts is copyFloats for the frequency series.
+//
+//teem:hotpath
 func (t *Trace) copyInts(src []int) []int {
 	if len(src) == 0 {
 		return nil
@@ -143,6 +151,7 @@ func (t *Trace) copyInts(src []int) []int {
 		if sz < need {
 			sz = need
 		}
+		//teem:alloc-ok amortized arena-block growth, one make per block of samples
 		t.iArena = make([]int, 0, sz)
 	}
 	base := len(t.iArena)
