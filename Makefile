@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint vulncheck fmt test race bench bench-json scenario-gate integrator-gate serve-smoke soak-gate ci
+.PHONY: build vet lint vulncheck fmt test race bench bench-json scenario-gate integrator-gate platform-gate serve-smoke soak-gate ci
 
 build:
 	$(GO) build ./...
@@ -50,7 +50,7 @@ bench:
 # BENCH_<date>.json — ns/op, B/op and allocs/op per benchmark. CI uploads
 # it as a non-gating artifact so the perf trajectory is tracked across PRs.
 BENCH_DATE := $(shell date -u +%Y-%m-%d)
-BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioPreempt|BenchmarkScenarioGrid|BenchmarkScenarioReplaySparse|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto|BenchmarkServiceSubmit|BenchmarkServiceStream|BenchmarkServiceSoak|BenchmarkJournalReplay'
+BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioPreempt|BenchmarkScenarioGrid|BenchmarkScenarioGridPlatforms|BenchmarkScenarioReplaySparse|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto|BenchmarkServiceSubmit|BenchmarkServiceStream|BenchmarkServiceSoak|BenchmarkJournalReplay'
 bench-json:
 	$(GO) test -run='^$$' -bench=$(BENCH_CORE) -benchmem ./internal/sim ./internal/scenario ./internal/thermal ./internal/power ./internal/service . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
@@ -70,6 +70,16 @@ integrator-gate:
 	$(GO) test -count=1 -run 'TestSuperstep' ./internal/thermal ./internal/sim ./internal/scenario
 	$(GO) run ./cmd/teemscenario -govs ondemand,teem -integrator euler
 
+# Platform-catalog gate (docs/platforms.md): the catalog validation
+# suite (JSON round-trips, physics checks, constructor equivalence) must
+# pass uncached, and every builtin platform must keep the whole preset
+# corpus's assertions under both integrators — the hardware axis of the
+# regression matrix.
+platform-gate:
+	$(GO) test -count=1 ./internal/platform
+	$(GO) run ./cmd/teemscenario -platforms all -govs ondemand,teem
+	$(GO) run ./cmd/teemscenario -platforms all -govs ondemand,teem -integrator euler
+
 # Serving-path smoke gate: boot teemd on a random port, hit /healthz,
 # submit a preset scenario, stream its NDJSON telemetry, verify the
 # result is byte-identical to the teemscenario CLI, cancel a long run,
@@ -88,4 +98,4 @@ serve-smoke:
 soak-gate:
 	$(GO) test ./cmd/teemd -run 'TestSoakGate|TestLoadSoak' -count=1 -v
 
-ci: build vet lint fmt test race bench scenario-gate integrator-gate serve-smoke soak-gate vulncheck
+ci: build vet lint fmt test race bench scenario-gate integrator-gate platform-gate serve-smoke soak-gate vulncheck

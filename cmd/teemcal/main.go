@@ -1,13 +1,17 @@
-// Command teemcal prints the thermal/power calibration of the platform
+// Command teemcal prints the thermal/power calibration of a platform
 // model: steady-state temperatures per operating point, heating and
 // cooling time scales, and the board power envelope. Use it to verify a
 // platform description before running experiments, or to re-derive the
-// targets documented in DESIGN.md §4.
+// targets documented in DESIGN.md §4. Everything it prints — the
+// frequency ladder, node names, trip targets — derives from the selected
+// platform, so it calibrates any catalog entry or bundle file, not just
+// the Exynos.
 //
 // Usage:
 //
 //	teemcal
 //	teemcal -app SR -big 4 -little 4
+//	teemcal -platform harrier-s16
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 
 	"teem/internal/buildinfo"
 	"teem/internal/mapping"
+	"teem/internal/platform"
 	"teem/internal/power"
 	"teem/internal/report"
 	"teem/internal/sim"
@@ -33,6 +38,7 @@ func main() {
 		appCode = flag.String("app", "CV", "application used for the load cases")
 		nBig    = flag.Int("big", 3, "big cores in the load mapping")
 		nLittle = flag.Int("little", 2, "LITTLE cores in the load mapping")
+		platRef = flag.String("platform", "", "platform: builtin catalog name or bundle JSON file (default exynos5422)")
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -41,13 +47,21 @@ func main() {
 		return
 	}
 
-	plat := soc.Exynos5422()
-	net := thermal.Exynos5422Network()
+	b := platform.Default()
+	if *platRef != "" {
+		var err error
+		b, err = platform.Resolve(*platRef)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	plat, net := b.SoC, b.Net
 	app, err := workload.ByShort(*appCode)
 	if err != nil {
 		log.Fatal(err)
 	}
 	m := mapping.Mapping{Big: *nBig, Little: *nLittle, UseGPU: true}
+	big, little, gpu := plat.Big(), plat.Little(), plat.GPU()
 
 	// Power envelope.
 	pm, err := power.NewModel(plat)
@@ -58,19 +72,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("board power envelope: idle %.2f W (baseline %.2f W)\n\n", idle.TotalW(), plat.BoardBaselineW)
+	fmt.Printf("platform %s (%s): idle %.2f W (baseline %.2f W)\n\n",
+		b.Name, b.Class, idle.TotalW(), plat.BoardBaselineW)
 
-	// Steady-state ladder per big OPP for the chosen load.
+	// Steady-state ladder across big OPPs for the chosen load: six
+	// points from the hardware throttle cap to the maximum frequency.
+	capMHz := big.FloorOPP(plat.TripCapMHz).FreqMHz
+	ladder := oppLadder(big, capMHz, 6)
 	t := &report.Table{
 		Title: fmt.Sprintf("steady-state temperatures, %s on %s (both chunks busy)",
 			app.Name, m),
-		Headers: []string{"big MHz", "A15 (°C)", "Mali (°C)", "pkg (°C)", "board (W)"},
+		Headers: []string{"big MHz", big.Name + " (°C)", gpu.Name + " (°C)", "pkg (°C)", "board (W)"},
 	}
-	for _, f := range []int{900, 1200, 1400, 1600, 1800, 2000} {
+	for _, f := range ladder {
 		cfg := sim.Config{
 			Platform: plat, Net: net, App: app,
 			Map: m, Part: mapping.Partition{Num: 4, Den: 8},
-			Freq: mapping.FreqSetting{BigMHz: f, LittleMHz: 1400, GPUMHz: 600},
+			Freq: mapping.FreqSetting{BigMHz: f, LittleMHz: little.MaxFreqMHz(), GPUMHz: gpu.MaxFreqMHz()},
 		}
 		e, err := sim.New(cfg)
 		if err != nil {
@@ -80,8 +98,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bi := net.NodeIndex("A15")
-		gi := net.NodeIndex("MaliT628")
+		bi := net.NodeIndex(big.Name)
+		gi := net.NodeIndex(gpu.Name)
 		pi := net.NodeIndex("pkg")
 		t.AddRow(
 			fmt.Sprintf("%d", f),
@@ -93,8 +111,11 @@ func main() {
 	}
 	fmt.Println(t.Render())
 
-	// Transient time scales.
-	cross := func(start []float64, target float64, fBig int) float64 {
+	// Transient time scales against the platform's own trip points,
+	// under full load (every cluster maxed, big at the given frequency,
+	// leakage re-evaluated at the live temperatures each step).
+	bi := net.NodeIndex(big.Name)
+	cross := func(start []float64, target float64, bigMHz int, cooling bool) float64 {
 		tm, err := thermal.NewModel(net, plat.AmbientC)
 		if err != nil {
 			log.Fatal(err)
@@ -104,26 +125,124 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		// Fixed representative powers for the big@2000 load case.
-		p := []float64{4.5, 0.4, 2.2, 1.85}
-		if fBig == 900 {
-			p[0] = 1.5
-		}
-		bi := net.NodeIndex("A15")
-		for ts := 0.0; ts < 300; ts += 0.05 {
-			if err := tm.Step(p, 0.05); err != nil {
+		temps := make([]float64, len(net.Nodes))
+		for ts := 0.0; ts < 600; ts += 0.05 {
+			for i := range temps {
+				temps[i] = tm.Temp(i)
+			}
+			inj, err := fullLoadInj(plat, net, pm, bigMHz, temps)
+			if err != nil {
 				log.Fatal(err)
 			}
-			if (fBig != 900 && tm.Temp(bi) >= target) || (fBig == 900 && tm.Temp(bi) <= target) {
+			if err := tm.Step(inj, 0.05); err != nil {
+				log.Fatal(err)
+			}
+			if (!cooling && tm.Temp(bi) >= target) || (cooling && tm.Temp(bi) <= target) {
 				return ts
 			}
 		}
 		return -1
 	}
-	fmt.Printf("cold start → 85 °C at 2000 MHz: %6.1f s\n", cross(nil, 85, 2000))
-	fmt.Printf("cold start → 95 °C at 2000 MHz: %6.1f s\n", cross(nil, 95, 2000))
-	fmt.Printf("warm 90 °C → 95 °C at 2000 MHz: %6.1f s\n",
-		cross([]float64{90, 75, 85, 85}, 95, 2000))
-	fmt.Printf("throttled 95 → 87 °C at 900 MHz: %6.1f s\n",
-		cross([]float64{95, 75, 88, 84}, 87, 900))
+	show := func(label string, v float64) {
+		if v < 0 {
+			fmt.Printf("%s:  never (steady state on the other side)\n", label)
+			return
+		}
+		fmt.Printf("%s: %6.1f s\n", label, v)
+	}
+	maxMHz := big.MaxFreqMHz()
+	show(fmt.Sprintf("cold start → %.0f °C at %d MHz", plat.TripC-10, maxMHz),
+		cross(nil, plat.TripC-10, maxMHz, false))
+	show(fmt.Sprintf("cold start → trip %.0f °C at %d MHz", plat.TripC, maxMHz),
+		cross(nil, plat.TripC, maxMHz, false))
+	// Cooling from a tripped chip (every node at most at the trip
+	// point) down to the release temperature, at the hardware cap.
+	tripped := make([]float64, len(net.Nodes))
+	hot, err := fullLoadSteady(plat, net, pm, maxMHz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range tripped {
+		tripped[i] = min(hot[i], plat.TripC)
+	}
+	show(fmt.Sprintf("tripped %.0f → release %.0f °C at %d MHz", plat.TripC, plat.TripReleaseC, capMHz),
+		cross(tripped, plat.TripReleaseC, capMHz, true))
+}
+
+// oppLadder picks n frequencies spanning the big cluster's OPP table
+// from the hardware cap to the maximum, evenly by OPP index.
+func oppLadder(c *soc.Cluster, fromMHz int, n int) []int {
+	lo := c.OPPIndex(fromMHz)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := c.NumOPPs() - 1
+	if n > hi-lo+1 {
+		n = hi - lo + 1
+	}
+	var freqs []int
+	for k := 0; k < n; k++ {
+		i := lo + k*(hi-lo)/(n-1)
+		f := c.OPPs[i].FreqMHz
+		if len(freqs) == 0 || freqs[len(freqs)-1] != f {
+			freqs = append(freqs, f)
+		}
+	}
+	return freqs
+}
+
+// fullLoadInj builds the node heat-injection vector for every cluster
+// fully loaded (big at bigMHz, others at max), with leakage evaluated at
+// the given node temperatures and half the board baseline on the
+// package, matching the simulator's default split.
+func fullLoadInj(plat *soc.Platform, net *thermal.Network, pm *power.Model, bigMHz int, temps []float64) ([]float64, error) {
+	inj := make([]float64, len(net.Nodes))
+	inj[net.NodeIndex("pkg")] += 0.5 * plat.BoardBaselineW
+	for i := range plat.Clusters {
+		c := &plat.Clusters[i]
+		f := c.MaxFreqMHz()
+		if c.Kind == soc.BigCPU {
+			f = bigMHz
+		}
+		node := net.NodeIndex(c.Name)
+		dyn, leak, err := pm.ClusterPower(i, power.ClusterLoad{
+			FreqMHz:     f,
+			ActiveCores: c.NumCores,
+			OnCores:     c.NumCores,
+			Utilization: 1,
+			Activity:    1,
+			TempC:       temps[node],
+		})
+		if err != nil {
+			return nil, err
+		}
+		inj[node] += dyn + leak
+	}
+	return inj, nil
+}
+
+// fullLoadSteady iterates the leakage/temperature fixed point to the
+// full-load steady state.
+func fullLoadSteady(plat *soc.Platform, net *thermal.Network, pm *power.Model, bigMHz int) ([]float64, error) {
+	tm, err := thermal.NewModel(net, plat.AmbientC)
+	if err != nil {
+		return nil, err
+	}
+	temps := make([]float64, len(net.Nodes))
+	for i := range temps {
+		temps[i] = plat.AmbientC
+	}
+	var st []float64
+	for round := 0; round < 8; round++ {
+		inj, err := fullLoadInj(plat, net, pm, bigMHz, temps)
+		if err != nil {
+			return nil, err
+		}
+		st, err = tm.SteadyState(inj)
+		if err != nil {
+			return nil, err
+		}
+		copy(temps, st)
+	}
+	return st, nil
 }

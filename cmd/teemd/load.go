@@ -32,6 +32,7 @@ func runLoad(args []string) {
 		reqs    = fs.Int("requests", 1, "requests per client")
 		preset  = fs.String("preset", "sunlight", "preset scenario every client submits")
 		govs    = fs.String("govs", "ondemand", "comma-separated governors")
+		plat    = fs.String("platform", "", "catalog platform every client submits against (empty = the service default)")
 		unique  = fs.Bool("unique", false, "give every client a distinct inline scenario (defeats the request cache)")
 		soak    = fs.Bool("soak", false, "soak mode: submit continuously for -duration and assert the SLOs")
 		dur     = fs.Duration("duration", 10*time.Second, "soak: how long to keep submitting")
@@ -59,7 +60,7 @@ func runLoad(args []string) {
 	// The expected bytes come from the same code path the teemscenario
 	// CLI renders: a local serial grid run of the identical work.
 	expect := func(sc *scenario.Scenario) string {
-		grid, err := scenario.RunGrid([]*scenario.Scenario{sc}, governors, scenario.Config{}, 1)
+		grid, err := scenario.RunGrid([]*scenario.Scenario{sc}, governors, scenario.Config{PlatformName: *plat}, 1)
 		if err != nil {
 			log.Fatalf("computing expected output: %v", err)
 		}
@@ -81,7 +82,7 @@ func runLoad(args []string) {
 		go func(c int) {
 			client := &http.Client{Timeout: 5 * time.Minute}
 			for r := 0; r < *reqs; r++ {
-				results <- oneRequest(client, *addr, c, *preset, governors, *unique, expect, expected)
+				results <- oneRequest(client, *addr, c, *preset, *plat, governors, *unique, expect, expected)
 			}
 		}(c)
 	}
@@ -123,13 +124,13 @@ func runLoad(args []string) {
 
 // oneRequest submits, polls to terminal, fetches the result and compares
 // it against the CLI-equivalent bytes.
-func oneRequest(client *http.Client, addr string, c int, preset string, governors []string,
+func oneRequest(client *http.Client, addr string, c int, preset, platform string, governors []string,
 	unique bool, expect func(*scenario.Scenario) string, expected string) (o struct {
 	latency time.Duration
 	cached  bool
 	err     error
 }) {
-	req := service.JobRequest{Preset: preset, Governors: governors}
+	req := service.JobRequest{Preset: preset, Governors: governors, Platform: platform}
 	want := expected
 	if unique {
 		sc, err := scenario.New(fmt.Sprintf("load-%d", c)).
@@ -145,7 +146,7 @@ func oneRequest(client *http.Client, addr string, c int, preset string, governor
 			o.err = err
 			return o
 		}
-		req = service.JobRequest{Scenario: b.Bytes(), Governors: governors}
+		req = service.JobRequest{Scenario: b.Bytes(), Governors: governors, Platform: platform}
 		want = expect(sc)
 	}
 

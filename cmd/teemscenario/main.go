@@ -7,6 +7,11 @@
 // the exit code, so scenario files double as an executable regression
 // corpus (`make scenario-gate` runs the preset corpus in CI).
 //
+// Hardware is an axis: -platform selects one platform from the builtin
+// catalog (by name) or a bundle JSON file, and -platforms fans the same
+// corpus out as a platform × scenario × governor grid ("all" sweeps the
+// whole catalog — `make platform-gate`).
+//
 // Recorded arrival logs replay as scenarios via -replay: each record
 // (app, at_s, priority, deadline_s, hold_s) becomes an arrival — plus a
 // departure when the tenant's hold expires — compiled to the same
@@ -16,6 +21,8 @@
 //
 //	teemscenario -preset rush-hour -govs ondemand,teem
 //	teemscenario -f sunlight.json -govs teem -workers 4
+//	teemscenario -platform merlin-m3 -govs teem
+//	teemscenario -platforms all -govs ondemand,teem
 //	teemscenario -replay trace.json -govs teem
 //	teemscenario -preset sparse-replay -supersteps=false   # force tick-by-tick
 //	teemscenario -list
@@ -30,6 +37,7 @@ import (
 	"strings"
 
 	"teem/internal/buildinfo"
+	"teem/internal/platform"
 	"teem/internal/scenario"
 	"teem/internal/sim"
 	"teem/internal/soc"
@@ -48,9 +56,10 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker pool bound (0 = one per CPU, 1 = serial)")
 		integrator = flag.String("integrator", "exact", "thermal integrator: exact or euler")
 		supersteps = flag.Bool("supersteps", true, "jump provably steady intervals in one exact propagator application (exact integrator only)")
-		platPath   = flag.String("platform", "", "custom platform description (JSON) instead of the Exynos 5422")
-		netPath    = flag.String("thermal", "", "custom thermal network (JSON)")
-		list       = flag.Bool("list", false, "list built-in presets and governors, then exit")
+		platRef    = flag.String("platform", "", "platform: builtin catalog name or bundle JSON file (with -thermal: a bare SoC description JSON)")
+		platforms  = flag.String("platforms", "", `comma-separated catalog platforms to grid over, or "all" for the whole catalog`)
+		netPath    = flag.String("thermal", "", "custom thermal network (JSON); requires -platform with a bare SoC description")
+		list       = flag.Bool("list", false, "list built-in presets, platforms and governors, then exit")
 		dump       = flag.Bool("dump", false, "print the selected scenarios as JSON, then exit")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
@@ -64,6 +73,14 @@ func main() {
 		fmt.Println("presets:")
 		for _, s := range scenario.Presets() {
 			fmt.Printf("  %-10s %d events, horizon %gs\n", s.Name, len(s.Events), s.EndS())
+		}
+		fmt.Println("platforms:")
+		for _, name := range platform.Names() {
+			b, err := platform.Get(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-12s %-6s %s\n", name, b.Class, b.Description)
 		}
 		fmt.Printf("governors: %s\n", strings.Join(scenario.GovernorNames(), ", "))
 		return
@@ -131,8 +148,19 @@ func main() {
 	default:
 		log.Fatalf("unknown integrator %q (want exact or euler)", *integrator)
 	}
-	if *platPath != "" {
-		f, err := os.Open(*platPath)
+	switch {
+	case *platforms != "":
+		if *platRef != "" || *netPath != "" {
+			log.Fatal("-platforms owns the platform axis; it cannot combine with -platform or -thermal")
+		}
+	case *netPath != "":
+		// Explicit pair: a bare SoC description plus its network. The
+		// half-specified forms the old flags accepted are rejected by
+		// the scenario layer now — the silent Exynos completion is gone.
+		if *platRef == "" {
+			log.Fatal("-thermal requires -platform with a bare SoC description JSON")
+		}
+		f, err := os.Open(*platRef)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -141,9 +169,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-	}
-	if *netPath != "" {
-		f, err := os.Open(*netPath)
+		f, err = os.Open(*netPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -152,6 +178,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	case *platRef != "":
+		// Catalog name or bundle file, resolved by the scenario layer.
+		rc.PlatformName = *platRef
 	}
 
 	var governors []string
@@ -173,6 +202,26 @@ func main() {
 				governors = append(governors, name)
 			}
 		}
+	}
+
+	if *platforms != "" {
+		var plats []string
+		if *platforms == "all" {
+			plats = platform.Names()
+		} else {
+			for _, p := range strings.Split(*platforms, ",") {
+				plats = append(plats, strings.TrimSpace(p))
+			}
+		}
+		grid, err := scenario.RunPlatformGrid(plats, scs, governors, rc, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(grid.Render())
+		if n := grid.Violations(); n > 0 {
+			log.Fatalf("%d assertion violation(s)", n)
+		}
+		return
 	}
 
 	grid, err := scenario.RunGrid(scs, governors, rc, *workers)

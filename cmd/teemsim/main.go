@@ -1,11 +1,15 @@
-// Command teemsim runs a single application on the simulated Exynos 5422
+// Command teemsim runs a single application on a simulated platform
 // under a chosen DVFS policy and prints the run summary, optionally with
-// Fig. 1 style temperature/frequency charts or a CSV trace.
+// Fig. 1 style temperature/frequency charts or a CSV trace. The hardware
+// comes from the builtin platform catalog (-platform by name, default
+// exynos5422), a bundle JSON file, or a bare SoC description paired with
+// -thermal.
 //
 // Usage:
 //
 //	teemsim -app CV -governor teem -big 3 -little 2 -partition 4 -chart
 //	teemsim -app SR -governor ondemand -csv trace.csv
+//	teemsim -app CV -platform merlin-m3 -governor teem
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"teem/internal/core"
 	"teem/internal/governor"
 	"teem/internal/mapping"
+	"teem/internal/platform"
 	"teem/internal/sim"
 	"teem/internal/soc"
 	"teem/internal/thermal"
@@ -41,8 +46,8 @@ func main() {
 		chart     = flag.Bool("chart", false, "print temperature/frequency charts")
 		csvPath   = flag.String("csv", "", "write the trace as CSV to this file")
 		cold      = flag.Bool("cold", false, "start from ambient instead of the steady-regime protocol")
-		platPath  = flag.String("platform", "", "load a custom platform description (JSON) instead of the Exynos 5422")
-		netPath   = flag.String("thermal", "", "load a custom thermal network (JSON)")
+		platRef   = flag.String("platform", "", "platform: builtin catalog name or bundle JSON file (with -thermal: a bare SoC description JSON); default exynos5422")
+		netPath   = flag.String("thermal", "", "custom thermal network (JSON); requires -platform with a bare SoC description")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -55,9 +60,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plat := soc.Exynos5422()
-	if *platPath != "" {
-		f, err := os.Open(*platPath)
+	var (
+		plat *soc.Platform
+		net  *thermal.Network
+	)
+	switch {
+	case *netPath != "":
+		// Explicit pair: a bare SoC description plus its network. Half a
+		// pair no longer completes silently with an Exynos preset.
+		if *platRef == "" {
+			log.Fatal("-thermal requires -platform with a bare SoC description JSON")
+		}
+		f, err := os.Open(*platRef)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,10 +80,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-	}
-	net := thermal.Exynos5422Network()
-	if *netPath != "" {
-		f, err := os.Open(*netPath)
+		f, err = os.Open(*netPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,6 +89,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	case *platRef != "":
+		b, err := platform.Resolve(*platRef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plat, net = b.SoC, b.Net
+	default:
+		b := platform.Default()
+		plat, net = b.SoC, b.Net
 	}
 	cfg := sim.Config{
 		Platform:         plat,
@@ -136,7 +156,8 @@ func main() {
 
 	if *chart {
 		fmt.Println()
-		fmt.Print(res.Trace.RenderTempAndFreq("A15", "A15", 72, 14))
+		bigName := plat.Big().Name
+		fmt.Print(res.Trace.RenderTempAndFreq(bigName, bigName, 72, 14))
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

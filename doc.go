@@ -36,9 +36,18 @@
 //	fig5, err := env.Fig5(teem.Mapping{Big: 4, Little: 2, UseGPU: true})
 //	fmt.Println(fig5.RenderEnergy())
 //
-// Custom platforms are plain data: describe clusters and OPP tables with
-// Platform, wire a thermal Network, and every governor, baseline and the
-// TEEM manager run unchanged (see examples/customplatform).
+// # The platform catalog
+//
+// Hardware is a first-class axis: a PlatformBundle packages a SoC
+// description, the thermal network it is calibrated against and catalog
+// metadata (deployment class, accelerator slots) under one name,
+// validated as a unit. Six builtin platforms ship embedded in the
+// binary — resolve them with GetPlatform/ResolvePlatform, list them
+// with PlatformNames, sweep them with RunScenarioPlatformGrid, and
+// check a custom bundle with VerifyPlatform. Custom platforms are plain
+// data: describe one in a bundle JSON file (or wire a Platform and a
+// Network directly) and every governor, baseline and the TEEM manager
+// run unchanged (see examples/customplatform and docs/platforms.md).
 //
 // # Architecture
 //

@@ -15,6 +15,7 @@ var coreSuffixes = []string{
 	"internal/sim",
 	"internal/thermal",
 	"internal/scenario",
+	"internal/platform",
 	"internal/experiments",
 	"internal/governor",
 	"internal/power",

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 
+	"teem/internal/platform"
 	"teem/internal/scenario"
 )
 
@@ -31,6 +32,28 @@ func (e *Env) ScenarioGridCtx(ctx context.Context, scs []*scenario.Scenario, gov
 // governors — the dynamic-workload counterpart of the Fig. 5 sweep.
 func (e *Env) ScenarioPresets() (*scenario.GridResult, error) {
 	return e.ScenarioGrid(scenario.Presets(), nil)
+}
+
+// ScenarioPlatformGrid fans the scenario × governor matrix out across
+// catalog platforms — the cross-platform sweep. Platform references
+// resolve by catalog name or bundle-file path; an empty list sweeps the
+// whole builtin catalog, an empty governor list the stock registry. The
+// environment's own Plat/Net are not used: the platform axis belongs to
+// the grid.
+func (e *Env) ScenarioPlatformGrid(platforms []string, scs []*scenario.Scenario, governors []string) (*scenario.PlatformGridResult, error) {
+	return e.ScenarioPlatformGridCtx(context.Background(), platforms, scs, governors)
+}
+
+// ScenarioPlatformGridCtx is ScenarioPlatformGrid under a context (see
+// ScenarioGridCtx for the cancellation contract).
+func (e *Env) ScenarioPlatformGridCtx(ctx context.Context, platforms []string, scs []*scenario.Scenario, governors []string) (*scenario.PlatformGridResult, error) {
+	if len(platforms) == 0 {
+		platforms = platform.Names()
+	}
+	if len(governors) == 0 {
+		governors = scenario.GovernorNames()
+	}
+	return scenario.RunPlatformGridCtx(ctx, platforms, scs, governors, scenario.Config{}, e.Workers())
 }
 
 // ScenarioReplay compiles a recorded arrival log (trace-driven replay)

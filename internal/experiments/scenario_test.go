@@ -76,3 +76,34 @@ func TestScenarioPresetsPass(t *testing.T) {
 		t.Errorf("preset grid reported %d assertion violations:\n%s", n, g.Render())
 	}
 }
+
+// The cross-platform sweep obeys the same determinism contract, with the
+// platform axis resolved through the catalog.
+func TestScenarioPlatformGridDeterminism(t *testing.T) {
+	plats := []string{"exynos5422", "kestrel-e2"}
+	scs := []*scenario.Scenario{scenario.CoreLoss()}
+	govs := []string{"ondemand", "teem"}
+
+	serialEnv, err := NewEnvWith(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelEnv, err := NewEnvWith(Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialEnv.ScenarioPlatformGrid(plats, scs, govs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := parallelEnv.ScenarioPlatformGrid(plats, scs, govs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.Render(), parallel.Render(); s != p {
+		t.Errorf("platform grid differs between -workers 1 and -workers 8:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+	if serial.Cell("kestrel-e2", "core-loss", "teem") == nil {
+		t.Error("cube cell lookup failed")
+	}
+}

@@ -1,6 +1,10 @@
 package scenario
 
-import "testing"
+import (
+	"testing"
+
+	"teem/internal/platform"
+)
 
 // BenchmarkScenarioRun executes the rush-hour combination scenario
 // (multi-app arrivals, ambient step, governor switch) end to end — the
@@ -48,6 +52,26 @@ func BenchmarkScenarioGrid(b *testing.B) {
 		}
 		if g.Violations() != 0 {
 			b.Fatal("preset grid violated assertions")
+		}
+	}
+}
+
+// BenchmarkScenarioGridPlatforms measures the full three-axis fan-out —
+// platform × scenario × governor — across the worker pool: every catalog
+// platform running the sunlight and core-loss presets under the ondemand
+// baseline and the TEEM controller. The hardware axis's entry in the
+// BENCH_<date>.json perf trajectory.
+func BenchmarkScenarioGridPlatforms(b *testing.B) {
+	plats := platform.Names()
+	scs := []*Scenario{Sunlight(), CoreLoss()}
+	govs := []string{"ondemand", "teem"}
+	for i := 0; i < b.N; i++ {
+		g, err := RunPlatformGrid(plats, scs, govs, Config{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.Violations() != 0 {
+			b.Fatal("platform grid violated assertions")
 		}
 	}
 }

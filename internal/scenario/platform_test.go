@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"teem/internal/platform"
+	"teem/internal/soc"
+	"teem/internal/thermal"
+)
+
+// TestRunPlatformName runs a preset on a catalog platform selected by
+// name and checks the result is attributed to it.
+func TestRunPlatformName(t *testing.T) {
+	r, err := Run(Sunlight(), Config{PlatformName: "sparrow-e1", Governor: "teem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Platform != "sparrow-e1" {
+		t.Fatalf("Result.Platform = %q", r.Platform)
+	}
+	if !r.Passed() {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+}
+
+// TestRunDefaultPlatformMatchesExplicitExynos pins the catalog bridge at
+// the scenario layer: the zero config (default catalog platform) and the
+// explicit Exynos constructors produce identical results.
+func TestRunDefaultPlatformMatchesExplicitExynos(t *testing.T) {
+	a, err := Run(Sunlight(), Config{Governor: "teem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Sunlight(), Config{
+		Platform: soc.Exynos5422(),
+		Net:      thermal.Exynos5422Network(),
+		Governor: "teem",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sim.EnergyJ != b.Sim.EnergyJ || a.Sim.ExecTimeS != b.Sim.ExecTimeS || a.Sim.PeakTempC != b.Sim.PeakTempC {
+		t.Fatalf("default catalog platform diverges from the Exynos constructors: %+v vs %+v", a.Sim, b.Sim)
+	}
+	if a.Platform != platform.DefaultName {
+		t.Fatalf("default Result.Platform = %q", a.Platform)
+	}
+}
+
+// TestRunRejectsHalfPair is the scenario-layer regression test for the
+// silent-pairing bug: a config with only one of Platform/Net used to be
+// completed with the Exynos preset for the other half, which on any
+// non-Exynos input meant sensors silently reading 0 °C. It must be an
+// error now.
+func TestRunRejectsHalfPair(t *testing.T) {
+	if _, err := Run(Sunlight(), Config{Platform: soc.Exynos5410()}); err == nil {
+		t.Error("Run accepted Platform without Net")
+	}
+	if _, err := Run(Sunlight(), Config{Net: thermal.Exynos5410Network()}); err == nil {
+		t.Error("Run accepted Net without Platform")
+	}
+	if _, err := Run(Sunlight(), Config{PlatformName: "exynos5410", Platform: soc.Exynos5410(), Net: thermal.Exynos5410Network()}); err == nil {
+		t.Error("Run accepted PlatformName combined with an explicit pair")
+	}
+	if _, err := Run(Sunlight(), Config{PlatformName: "no-such-board"}); err == nil {
+		t.Error("Run accepted an unknown platform name")
+	}
+}
+
+// TestNodeAliases checks @-aliases bind to the resolved platform's real
+// node names — including in violation messages.
+func TestNodeAliases(t *testing.T) {
+	p := soc.Exynos5422()
+	for alias, want := range map[string]string{
+		NodeBig:    "A15",
+		NodeLittle: "A7",
+		NodeGPU:    "MaliT628",
+		NodePkg:    "pkg",
+		"A15":      "A15", // plain names pass through
+	} {
+		if got := resolveNode(p, alias); got != want {
+			t.Errorf("resolveNode(%q) = %q, want %q", alias, got, want)
+		}
+	}
+
+	// An impossible bound on @big must report the platform's big-cluster
+	// node by its real name.
+	sc, err := New("alias-check").
+		ArriveDefault(0, "MVT").
+		AssertPeakBelow(NodeBig, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(sc, Config{PlatformName: "merlin-m3", Governor: "teem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) == 0 {
+		t.Fatal("impossible @big bound did not trip")
+	}
+	if !strings.Contains(r.Violations[0], "X4") {
+		t.Errorf("violation %q does not name merlin-m3's big cluster X4", r.Violations[0])
+	}
+}
+
+// TestRunPlatformGridDeterminism pins the platform grid's core contract:
+// parallel execution is byte-identical to serial execution.
+func TestRunPlatformGridDeterminism(t *testing.T) {
+	plats := []string{"exynos5422", "sparrow-e1"}
+	scs := []*Scenario{Sunlight(), CoreLoss()}
+	govs := []string{"ondemand", "teem"}
+	serial, err := RunPlatformGrid(plats, scs, govs, Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunPlatformGrid(plats, scs, govs, Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.Render(), par.Render(); s != p {
+		t.Fatalf("parallel platform grid differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+}
+
+func TestRunPlatformGridShape(t *testing.T) {
+	g, err := RunPlatformGrid([]string{"kestrel-e2"}, []*Scenario{CoreLoss()}, []string{"teem"}, Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Cell("kestrel-e2", "core-loss", "teem")
+	if r == nil {
+		t.Fatal("cell lookup failed")
+	}
+	if r.Platform != "kestrel-e2" || r.Sim == nil {
+		t.Fatalf("cell = %+v", r)
+	}
+	if g.Violations() != 0 {
+		t.Fatalf("unexpected violations: %s", g.Render())
+	}
+	if !strings.Contains(g.Render(), "kestrel-e2") {
+		t.Error("render lacks the platform column")
+	}
+}
+
+func TestRunPlatformGridValidation(t *testing.T) {
+	scs := []*Scenario{CoreLoss()}
+	if _, err := RunPlatformGrid(nil, scs, []string{"teem"}, Config{}, 1); err == nil {
+		t.Error("empty platform list accepted")
+	}
+	if _, err := RunPlatformGrid([]string{"no-such-board"}, scs, []string{"teem"}, Config{}, 1); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := RunPlatformGrid([]string{"exynos5422"}, scs, []string{"teem"}, Config{PlatformName: "exynos5410"}, 1); err == nil {
+		t.Error("platform grid accepted a config that also selects a platform")
+	}
+}

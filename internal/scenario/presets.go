@@ -11,7 +11,7 @@ func Sunlight() *Scenario {
 		ArriveDefault(0, "COVARIANCE").
 		AmbientRamp(12, 5, 43).
 		Horizon(30).
-		AssertPeakBelow("A15", 97).
+		AssertPeakBelow(NodeBig, 97).
 		RequireCompletion().
 		Build()
 	if err != nil {
@@ -32,8 +32,8 @@ func RushHour() *Scenario {
 		ArriveDefault(60, "SYRK").
 		AmbientStep(20, 38).
 		SwitchGovernor(40, "conservative").
-		AssertTempBelow(19, "A15", 99).
-		AssertPeakBelow("A15", 99).
+		AssertTempBelow(19, NodeBig, 99).
+		AssertPeakBelow(NodeBig, 99).
 		RequireCompletion().
 		Build()
 	if err != nil {
@@ -71,7 +71,7 @@ func PreemptStorm() *Scenario {
 		ArrivePriority(6, "MVT", 2).
 		ArrivePriority(10, "SYRK", 3).
 		ArrivePriority(40, "MVT", 2).
-		AssertPeakBelow("A15", 99).
+		AssertPeakBelow(NodeBig, 99).
 		RequireCompletion().
 		Build()
 	if err != nil {
@@ -94,7 +94,7 @@ func MultiTenantChurn() *Scenario {
 		SwitchMapping(12, mapping.Mapping{Big: 2, Little: 2, UseGPU: true}).
 		ArrivePriority(18, "SYRK", 1).
 		SwitchMapping(30, mapping.Mapping{Big: 4, Little: 2, UseGPU: true}).
-		AssertPeakBelow("A15", 99).
+		AssertPeakBelow(NodeBig, 99).
 		RequireCompletion().
 		Build()
 	if err != nil {

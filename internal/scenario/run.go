@@ -9,6 +9,7 @@ import (
 	"teem/internal/core"
 	"teem/internal/governor"
 	"teem/internal/par"
+	"teem/internal/platform"
 	"teem/internal/report"
 	"teem/internal/sim"
 	"teem/internal/soc"
@@ -39,9 +40,16 @@ func GovernorNames() []string {
 }
 
 // Config parameterises scenario execution. The zero value runs on the
-// default Exynos 5422 with the exact integrator.
+// default catalog platform (the Exynos 5422) with the exact integrator.
 type Config struct {
-	// Platform and Net default to the Exynos 5422 presets.
+	// PlatformName selects the hardware by catalog name or bundle-file
+	// path (platform.Resolve). It is mutually exclusive with the explicit
+	// Platform/Net pair below; when all three are empty the default
+	// catalog platform runs.
+	PlatformName string
+	// Platform and Net override the hardware explicitly. They must be
+	// set together — a half-specified pair is rejected rather than
+	// silently completed with a preset that may not match.
 	Platform *soc.Platform
 	Net      *thermal.Network
 	// Governor overrides the scenario's initial policy (grid columns).
@@ -74,9 +82,12 @@ type Config struct {
 
 // Result is one executed scenario × governor cell.
 type Result struct {
-	// Scenario and Governor identify the cell.
+	// Scenario and Governor identify the cell; Platform names the
+	// hardware it ran on (catalog name, bundle name, or SoC name for an
+	// explicit Platform/Net pair).
 	Scenario string
 	Governor string
+	Platform string
 	// Sim is the underlying run result (trace included).
 	Sim *sim.Result
 	// Violations lists failed assertions in event order (empty = pass).
@@ -110,13 +121,9 @@ func RunCtx(ctx context.Context, sc *Scenario, rc Config) (*Result, error) {
 	if err := sc.Validate(rc.Governors); err != nil {
 		return nil, err
 	}
-	plat := rc.Platform
-	if plat == nil {
-		plat = soc.Exynos5422()
-	}
-	net := rc.Net
-	if net == nil {
-		net = thermal.Exynos5422Network()
+	plat, net, platName, err := resolveHardware(rc)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 	registry := builtinGovernors()
 	//teem:order-insensitive map-to-map merge: the resulting registry is the same set whatever the iteration order
@@ -166,7 +173,7 @@ func RunCtx(ctx context.Context, sc *Scenario, rc Config) (*Result, error) {
 		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 
-	res := &Result{Scenario: sc.Name, Governor: govName}
+	res := &Result{Scenario: sc.Name, Governor: govName, Platform: platName}
 	ambient := plat.AmbientC
 	// Job-handle bookkeeping for departures and deadlines. Events
 	// dispatch in timeline order on the single run goroutine, so the
@@ -278,17 +285,20 @@ func RunCtx(ctx context.Context, sc *Scenario, rc Config) (*Result, error) {
 				return nil, err
 			}
 		case KindAssert:
-			// An unknown node would read 0 °C and green-light the
-			// assertion forever; flag the typo instead.
-			if net.NodeIndex(ev.Node) < 0 {
+			// Aliases (@big, @little, @gpu, @pkg) bind to the resolved
+			// platform here, at compile time, so messages print the real
+			// node name. An unknown node would read 0 °C and green-light
+			// the assertion forever; flag the typo instead.
+			node := resolveNode(plat, ev.Node)
+			if net.NodeIndex(node) < 0 {
 				res.Violations = append(res.Violations,
-					fmt.Sprintf("t=%gs: assertion on unknown node %q", ev.AtS, ev.Node))
+					fmt.Sprintf("t=%gs: assertion on unknown node %q", ev.AtS, node))
 				continue
 			}
 			err := e.ScheduleAt(ev.AtS, func(e *sim.Engine) error {
-				if t := e.SensorC(ev.Node); t > ev.MaxC {
+				if t := e.SensorC(node); t > ev.MaxC {
 					res.Violations = append(res.Violations,
-						fmt.Sprintf("t=%gs: %s at %.2f °C exceeds %.2f °C", ev.AtS, ev.Node, t, ev.MaxC))
+						fmt.Sprintf("t=%gs: %s at %.2f °C exceeds %.2f °C", ev.AtS, node, t, ev.MaxC))
 				}
 				return nil
 			})
@@ -339,9 +349,10 @@ func RunCtx(ctx context.Context, sc *Scenario, rc Config) (*Result, error) {
 
 	for _, fc := range sc.Final {
 		if fc.Node != "" && fc.PeakMaxC > 0 {
-			n := sr.Trace.NodeIndex(fc.Node)
+			node := resolveNode(plat, fc.Node)
+			n := sr.Trace.NodeIndex(node)
 			if n < 0 {
-				res.Violations = append(res.Violations, fmt.Sprintf("final: unknown node %q", fc.Node))
+				res.Violations = append(res.Violations, fmt.Sprintf("final: unknown node %q", node))
 				continue
 			}
 			// Exact per-tick peak (trace samples coarsen inside
@@ -352,7 +363,7 @@ func RunCtx(ctx context.Context, sc *Scenario, rc Config) (*Result, error) {
 			}
 			if peak > fc.PeakMaxC {
 				res.Violations = append(res.Violations,
-					fmt.Sprintf("final: %s peak %.2f °C exceeds %.2f °C", fc.Node, peak, fc.PeakMaxC))
+					fmt.Sprintf("final: %s peak %.2f °C exceeds %.2f °C", node, peak, fc.PeakMaxC))
 			}
 		}
 		if fc.Completed && !sr.Completed {
@@ -364,6 +375,65 @@ func RunCtx(ctx context.Context, sc *Scenario, rc Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// resolveHardware turns a Config's platform selection into a concrete
+// SoC/network pair plus the name results report under. Exactly one of
+// three shapes is accepted: a catalog reference, an explicit pair, or
+// nothing (→ the default catalog platform). A half-specified pair is an
+// error — completing it with a preset is exactly the silent-mismatch
+// trap the catalog removes.
+func resolveHardware(rc Config) (*soc.Platform, *thermal.Network, string, error) {
+	if rc.PlatformName != "" {
+		if rc.Platform != nil || rc.Net != nil {
+			return nil, nil, "", errors.New("scenario: PlatformName and an explicit Platform/Net are mutually exclusive")
+		}
+		b, err := platform.Resolve(rc.PlatformName)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return b.SoC, b.Net, b.Name, nil
+	}
+	if (rc.Platform == nil) != (rc.Net == nil) {
+		return nil, nil, "", errors.New("scenario: Platform and Net must be set together (or select a catalog platform by name)")
+	}
+	if rc.Platform != nil {
+		return rc.Platform, rc.Net, rc.Platform.Name, nil
+	}
+	b := platform.Default()
+	return b.SoC, b.Net, b.Name, nil
+}
+
+// Node aliases resolve per platform at scenario compile time, so one
+// scenario file asserts on "the big cluster" of whatever hardware the
+// grid hands it.
+const (
+	NodeBig    = "@big"
+	NodeLittle = "@little"
+	NodeGPU    = "@gpu"
+	NodePkg    = "@pkg"
+)
+
+// resolveNode maps the @-aliases to the platform's actual node names;
+// any other name passes through verbatim.
+func resolveNode(p *soc.Platform, name string) string {
+	switch name {
+	case NodeBig:
+		if c := p.Big(); c != nil {
+			return c.Name
+		}
+	case NodeLittle:
+		if c := p.Little(); c != nil {
+			return c.Name
+		}
+	case NodeGPU:
+		if c := p.GPU(); c != nil {
+			return c.Name
+		}
+	case NodePkg:
+		return "pkg"
+	}
+	return name
 }
 
 // scheduleAmbient compiles a step (or a discretised linear ramp) to engine
@@ -562,6 +632,201 @@ func (g *GridResult) Cell(scenario, gov string) *Result {
 		for gi, gv := range g.Governors {
 			if gv == gov {
 				return g.Cells[si][gi]
+			}
+		}
+	}
+	return nil
+}
+
+// PlatformGridResult is a platform × scenario × governor result cube in
+// input order — the cross-platform sweep the catalog makes possible.
+type PlatformGridResult struct {
+	Platforms []string
+	Scenarios []string
+	Governors []string
+	// Cells is indexed [platform][scenario][governor].
+	Cells [][][]*Result
+}
+
+// RunPlatformGrid executes every scenario under every governor on every
+// named platform across one bounded worker pool (workers: 0 = one per
+// CPU, 1 = serial). Platform references resolve through the catalog
+// (name or bundle-file path) and every reference is resolved up front,
+// so an unknown platform fails the whole grid before any cell runs.
+// Cells are assembled by flat index, so parallel output is
+// byte-identical to serial output, and each cell resolves its own fresh
+// bundle — nothing is shared across concurrent cells.
+func RunPlatformGrid(platforms []string, scs []*Scenario, governors []string, rc Config, workers int) (*PlatformGridResult, error) {
+	return RunPlatformGridCtx(context.Background(), platforms, scs, governors, rc, workers)
+}
+
+// RunPlatformGridCtx is RunPlatformGrid under a context, with RunGridCtx
+// cancellation semantics: the partial cube plus an error wrapping
+// ctx.Err() on cancellation.
+func RunPlatformGridCtx(ctx context.Context, platforms []string, scs []*Scenario, governors []string, rc Config, workers int) (*PlatformGridResult, error) {
+	if len(platforms) == 0 {
+		return nil, errors.New("scenario: empty grid (no platforms)")
+	}
+	if len(scs) == 0 {
+		return nil, errors.New("scenario: empty grid (no scenarios)")
+	}
+	if len(governors) == 0 {
+		return nil, errors.New("scenario: empty grid (no governors)")
+	}
+	if rc.PlatformName != "" || rc.Platform != nil || rc.Net != nil {
+		return nil, errors.New("scenario: platform grid owns the platform axis; leave Config.PlatformName/Platform/Net empty")
+	}
+	out := &PlatformGridResult{
+		Governors: append([]string(nil), governors...),
+		Cells:     make([][][]*Result, len(platforms)),
+	}
+	for _, ref := range platforms {
+		b, err := platform.Resolve(ref)
+		if err != nil {
+			return nil, err
+		}
+		out.Platforms = append(out.Platforms, b.Name)
+	}
+	for _, sc := range scs {
+		if sc == nil {
+			return nil, errors.New("scenario: nil scenario in grid")
+		}
+		out.Scenarios = append(out.Scenarios, sc.Name)
+	}
+	for pi := range out.Cells {
+		out.Cells[pi] = make([][]*Result, len(scs))
+		for si := range out.Cells[pi] {
+			out.Cells[pi][si] = make([]*Result, len(governors))
+		}
+	}
+	ns, ng := len(scs), len(governors)
+	n := len(platforms) * ns * ng
+	err := par.ForEachCtx(ctx, workers, n, func(i int) error {
+		pi, si, gi := i/(ns*ng), i/ng%ns, i%ng
+		cell := rc
+		cell.PlatformName = platforms[pi]
+		cell.Governor = governors[gi]
+		r, err := RunCtx(ctx, scs[si], cell)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, sim.ErrAborted) {
+				return err
+			}
+			r = &Result{
+				Scenario:   scs[si].Name,
+				Governor:   governors[gi],
+				Platform:   out.Platforms[pi],
+				Violations: []string{fmt.Sprintf("error: %v", err)},
+			}
+		}
+		out.Cells[pi][si][gi] = r
+		if rc.OnCell != nil {
+			rc.OnCell(r)
+		}
+		return nil
+	})
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			done := 0
+			for pi := range out.Cells {
+				for si := range out.Cells[pi] {
+					for gi := range out.Cells[pi][si] {
+						if out.Cells[pi][si][gi] != nil {
+							done++
+						}
+					}
+				}
+			}
+			return out, fmt.Errorf("scenario: platform grid cancelled with %d of %d cells complete: %w", done, n, cerr)
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// Render formats the cube as a metrics table: one row per platform ×
+// scenario × governor cell, plus an assertion column.
+func (g *PlatformGridResult) Render() string {
+	t := &report.Table{
+		Title: "platform × scenario × governor grid",
+		Headers: []string{"platform", "scenario", "governor", "ET (s)", "energy (J)",
+			"avg T (°C)", "peak T (°C)", "trips", "jobs", "asserts"},
+	}
+	for pi := range g.Cells {
+		for si := range g.Cells[pi] {
+			for gi := range g.Cells[pi][si] {
+				r := g.Cells[pi][si][gi]
+				if r == nil {
+					t.AddRow(g.Platforms[pi], g.Scenarios[si], g.Governors[gi],
+						"-", "-", "-", "-", "-", "-", "cancelled")
+					continue
+				}
+				status := "pass"
+				if !r.Passed() {
+					status = fmt.Sprintf("FAIL (%d)", len(r.Violations))
+				}
+				if r.Sim == nil {
+					t.AddRow(r.Platform, r.Scenario, r.Governor, "-", "-", "-", "-", "-", "-", status)
+					continue
+				}
+				t.AddRow(r.Platform, r.Scenario, r.Governor,
+					fmt.Sprintf("%.1f", r.Sim.ExecTimeS),
+					fmt.Sprintf("%.0f", r.Sim.EnergyJ),
+					fmt.Sprintf("%.1f", r.Sim.AvgTempC),
+					fmt.Sprintf("%.1f", r.Sim.PeakTempC),
+					fmt.Sprintf("%d", r.Sim.ThrottleEvents),
+					fmt.Sprintf("%d", len(r.Sim.JobFinishes)),
+					status)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Render())
+	for pi := range g.Cells {
+		for si := range g.Cells[pi] {
+			for gi := range g.Cells[pi][si] {
+				r := g.Cells[pi][si][gi]
+				if r == nil {
+					continue
+				}
+				for _, v := range r.Violations {
+					fmt.Fprintf(&b, "  %s/%s under %s: %s\n", r.Platform, r.Scenario, r.Governor, v)
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// Violations counts failed assertions across the cube.
+func (g *PlatformGridResult) Violations() int {
+	n := 0
+	for pi := range g.Cells {
+		for si := range g.Cells[pi] {
+			for gi := range g.Cells[pi][si] {
+				if c := g.Cells[pi][si][gi]; c != nil {
+					n += len(c.Violations)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Cell returns the result for a platform/scenario/governor triple (nil
+// if absent).
+func (g *PlatformGridResult) Cell(plat, scenario, gov string) *Result {
+	for pi, p := range g.Platforms {
+		if p != plat {
+			continue
+		}
+		for si, s := range g.Scenarios {
+			if s != scenario {
+				continue
+			}
+			for gi, gv := range g.Governors {
+				if gv == gov {
+					return g.Cells[pi][si][gi]
+				}
 			}
 		}
 	}

@@ -32,6 +32,13 @@
 //	  ],
 //	  "final": [{"node": "A15", "peak_max_c": 96, "completed": true}]
 //	}
+//
+// Assertion nodes may name a sensor directly ("A15") or use one of the
+// platform-independent aliases "@big", "@little", "@gpu", "@pkg", which
+// bind to the resolved platform's actual node names at run time — the
+// form every builtin preset uses, so the same scenario asserts on "the
+// big cluster" of whatever catalog platform (see internal/platform) the
+// grid hands it.
 package scenario
 
 import (
@@ -120,15 +127,16 @@ type Event struct {
 	Map *mapping.Mapping `json:"map,omitempty"`
 
 	// Node and MaxC express an instantaneous assertion (KindAssert):
-	// the named sensor must read at most MaxC at AtS.
+	// the named sensor (or @big/@little/@gpu/@pkg alias) must read at
+	// most MaxC at AtS.
 	Node string  `json:"node,omitempty"`
 	MaxC float64 `json:"max_c,omitempty"`
 }
 
 // FinalCheck is an end-of-run assertion evaluated on the finished result.
 type FinalCheck struct {
-	// Node + PeakMaxC: the node's peak temperature over the whole run
-	// must stay at or below PeakMaxC.
+	// Node + PeakMaxC: the node's (or @-alias's) peak temperature over
+	// the whole run must stay at or below PeakMaxC.
 	Node     string  `json:"node,omitempty"`
 	PeakMaxC float64 `json:"peak_max_c,omitempty"`
 	// Completed requires every submitted job to have finished.

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"teem/internal/scenario"
+)
+
+// A job submitted against a non-default catalog platform must run there
+// and render the same bytes the CLI path produces for that platform.
+func TestSubmitPlatformMatchesCLIRender(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2})
+	j, _, err := s.Submit(&JobRequest{
+		Preset:    "core-loss",
+		Governors: []string{"teem"},
+		Platform:  "kestrel-e2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := waitTerminal(t, j, 30*time.Second)
+	if js.Status != StatusDone {
+		t.Fatalf("job ended %s: %s", js.Status, js.Error)
+	}
+	text, _, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := scenario.RunGrid([]*scenario.Scenario{scenario.CoreLoss()},
+		[]string{"teem"}, scenario.Config{PlatformName: "kestrel-e2"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != grid.Render() {
+		t.Errorf("service result differs from the CLI render:\nservice:\n%s\ncli:\n%s", text, grid.Render())
+	}
+}
+
+// The platform is part of the request hash: the same scenario on
+// different hardware is different work and must not share cache entries,
+// while the default platform and its explicit name must.
+func TestPlatformInRequestHash(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2})
+	base := &JobRequest{Preset: "core-loss", Governors: []string{"ondemand"}}
+	j1, cached, err := s.Submit(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first submission reported cached")
+	}
+	waitTerminal(t, j1, 30*time.Second)
+
+	// Explicitly naming the default platform is the same work.
+	onDefault := *base
+	onDefault.Platform = "exynos5422"
+	j2, cached, err := s.Submit(&onDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || j2.ID != j1.ID {
+		t.Errorf("explicit default platform missed the cache (cached=%v)", cached)
+	}
+
+	// Different hardware is different work.
+	onSparrow := *base
+	onSparrow.Platform = "sparrow-e1"
+	j3, cached, err := s.Submit(&onSparrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || j3.ID == j1.ID {
+		t.Error("a different platform hit the default platform's cache entry")
+	}
+	waitTerminal(t, j3, 30*time.Second)
+}
+
+// Platform validation happens at submission, and fig5 jobs only run on
+// the paper's board.
+func TestSubmitPlatformValidation(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1})
+	if _, _, err := s.Submit(&JobRequest{Preset: "sunlight", Platform: "no-such-board"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, _, err := s.Submit(&JobRequest{Kind: KindFig5, Platform: "merlin-m3"}); err == nil {
+		t.Error("fig5 on a non-default platform accepted")
+	}
+	if q := s.Metrics().Queued(); q != 0 {
+		t.Errorf("invalid submissions left %d queued", q)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"teem/internal/mapping"
+	"teem/internal/platform"
 	"teem/internal/scenario"
 	"teem/internal/sim"
 )
@@ -55,6 +56,12 @@ type JobRequest struct {
 	// Integrator selects the thermal stepping scheme: "exact" (default)
 	// or "euler".
 	Integrator string `json:"integrator,omitempty"`
+	// Platform names the builtin catalog platform to simulate on
+	// (default "exynos5422", the paper's board). The service boundary
+	// accepts catalog names only — never file paths — and validates them
+	// at submission. The platform is part of the request hash: the same
+	// scenario on different hardware is different work.
+	Platform string `json:"platform,omitempty"`
 	// Workers bounds the job's own grid fan-out (0 = one per CPU,
 	// 1 = serial). Output is byte-identical either way, so Workers does
 	// not participate in the request hash.
@@ -131,6 +138,13 @@ func (s *Service) normalize(req *JobRequest) (*JobRequest, string, *jobPlan, err
 	if !validTenant(n.Tenant) {
 		return nil, "", nil, fmt.Errorf("service: invalid tenant %q (want ≤64 chars of [A-Za-z0-9._-])", req.Tenant)
 	}
+	if n.Platform == "" {
+		n.Platform = platform.DefaultName
+	}
+	if !platform.Has(n.Platform) {
+		return nil, "", nil, fmt.Errorf("service: unknown platform %q (builtin: %s)",
+			n.Platform, strings.Join(platform.Names(), ", "))
+	}
 
 	// Validate the scenario source now so submission — not execution —
 	// reports malformed requests, and so the cache key covers the
@@ -172,6 +186,11 @@ func (s *Service) normalize(req *JobRequest) (*JobRequest, string, *jobPlan, err
 			// integrator choice would return mislabelled results.
 			return nil, "", nil, fmt.Errorf("service: fig5 jobs run the exact integrator only")
 		}
+		if n.Platform != platform.DefaultName {
+			// Fig. 5 reproduces the paper's measurements, which exist on
+			// the Exynos 5422 only — other hardware would be mislabelled.
+			return nil, "", nil, fmt.Errorf("service: fig5 jobs run on %s only", platform.DefaultName)
+		}
 		if n.Map == nil {
 			n.Map = &mapping.Mapping{Big: 4, Little: 2, UseGPU: true}
 		}
@@ -183,11 +202,11 @@ func (s *Service) normalize(req *JobRequest) (*JobRequest, string, *jobPlan, err
 	n.Governors = govs
 
 	// The cache key hashes the resolved plan: tenant, kind, integrator,
-	// the scenarios' canonical JSON, the governor list, and the mapping.
-	// Workers and Priority are excluded — they only change scheduling,
-	// never bytes.
+	// platform, the scenarios' canonical JSON, the governor list, and the
+	// mapping. Workers and Priority are excluded — they only change
+	// scheduling, never bytes.
 	h := sha256.New()
-	fmt.Fprintf(h, "tenant=%s\nkind=%s\nintegrator=%s\n", n.Tenant, n.Kind, n.Integrator)
+	fmt.Fprintf(h, "tenant=%s\nkind=%s\nintegrator=%s\nplatform=%s\n", n.Tenant, n.Kind, n.Integrator, n.Platform)
 	for _, sc := range scs {
 		var b bytes.Buffer
 		if err := sc.Save(&b); err != nil {
@@ -308,8 +327,9 @@ func (s *Service) execute(ctx context.Context, j *Job) (string, *ResultSummary, 
 			}
 		}
 		rc := scenario.Config{
-			Integrator: integ,
-			OnCell:     onCell,
+			PlatformName: req.Platform,
+			Integrator:   integ,
+			OnCell:       onCell,
 		}
 		if len(scs)*len(govs) == 1 {
 			// A single cell has an unambiguous telemetry stream:

@@ -408,6 +408,9 @@ func New(cfg Config) (*Engine, error) {
 	if big == nil || lit == nil || gpu == nil {
 		return nil, errors.New("sim: platform must have big, LITTLE and GPU clusters")
 	}
+	if err := CheckPlatformNet(cfg.Platform, cfg.Net); err != nil {
+		return nil, err
+	}
 	if err := cfg.Map.Validate(big.NumCores, lit.NumCores); err != nil {
 		return nil, err
 	}
@@ -473,7 +476,8 @@ func New(cfg Config) (*Engine, error) {
 		name := cfg.Platform.Clusters[i].Name
 		n := cfg.Net.NodeIndex(name)
 		if n < 0 {
-			return nil, fmt.Errorf("sim: thermal network lacks a node for cluster %s", name)
+			// Unreachable after CheckPlatformNet above; kept defensive.
+			return nil, fmt.Errorf("%w: thermal network lacks a node for cluster %s", ErrPlatformNetMismatch, name)
 		}
 		e.nodeOf[i] = n
 		e.clusterIdx[name] = i
@@ -488,7 +492,8 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.pkgNode = cfg.Net.NodeIndex("pkg")
 	if e.pkgNode < 0 {
-		return nil, errors.New(`sim: thermal network lacks a "pkg" node`)
+		// Unreachable after CheckPlatformNet above; kept defensive.
+		return nil, fmt.Errorf(`%w: thermal network lacks a "pkg" node`, ErrPlatformNetMismatch)
 	}
 	e.sensors = make(map[string]thermal.Sensor, len(cfg.Net.Nodes))
 	for i := range cfg.Net.Nodes {
@@ -904,6 +909,39 @@ var ErrJobNotActive = errors.New("sim: job is not active")
 // (wrapped with the abort time) instead of a Result; callers distinguish
 // a cancelled simulation from a failed one with errors.Is.
 var ErrAborted = errors.New("sim: run aborted")
+
+// ErrPlatformNetMismatch reports a platform paired with a thermal network
+// that cannot carry it: a cluster without a same-named node, or a network
+// without the "pkg" node the board-baseline heat is injected into. Before
+// the sentinel existed the mismatch surfaced only as ad-hoc construction
+// errors (and a sensor for a missing node would read 0 °C forever if it
+// got that far), so callers could not distinguish a wrong pairing from
+// other configuration mistakes. Detect it with errors.Is.
+var ErrPlatformNetMismatch = errors.New("sim: platform/thermal network mismatch")
+
+// CheckPlatformNet cross-validates that the thermal network can carry the
+// platform: every cluster needs a same-named node (its sensor and heat
+// injection site) and the network needs a "pkg" node (board baseline and
+// DRAM heat). Violations wrap ErrPlatformNetMismatch. sim.New runs this
+// check; the platform catalog runs it over every bundle it validates.
+func CheckPlatformNet(p *soc.Platform, n *thermal.Network) error {
+	if p == nil {
+		return errors.New("sim: Config.Platform is required")
+	}
+	if n == nil {
+		return errors.New("sim: Config.Net is required")
+	}
+	for i := range p.Clusters {
+		name := p.Clusters[i].Name
+		if n.NodeIndex(name) < 0 {
+			return fmt.Errorf("%w: thermal network lacks a node for cluster %s", ErrPlatformNetMismatch, name)
+		}
+	}
+	if n.NodeIndex("pkg") < 0 {
+		return fmt.Errorf(`%w: thermal network lacks a "pkg" node`, ErrPlatformNetMismatch)
+	}
+	return nil
+}
 
 // liveDoneFrac is the executed fraction of the live job's work-items.
 func (e *Engine) liveDoneFrac() float64 { return doneFrac(e.app, e.remCPU, e.remGPU) }

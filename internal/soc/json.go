@@ -52,11 +52,8 @@ func kindFromString(s string) (ClusterKind, error) {
 	}
 }
 
-// Save writes the platform as indented JSON.
-func (p *Platform) Save(w io.Writer) error {
-	if err := p.Validate(); err != nil {
-		return err
-	}
+// toJSON converts the platform to its wire mirror.
+func (p *Platform) toJSON() jsonPlatform {
 	jp := jsonPlatform{
 		Name:            p.Name,
 		BoardBaselineW:  p.BoardBaselineW,
@@ -81,17 +78,14 @@ func (p *Platform) Save(w io.Writer) error {
 		}
 		jp.Clusters = append(jp.Clusters, jc)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(jp)
+	return jp
 }
 
-// LoadPlatform reads and validates a platform from JSON.
-func LoadPlatform(r io.Reader) (*Platform, error) {
-	var jp jsonPlatform
-	if err := json.NewDecoder(r).Decode(&jp); err != nil {
-		return nil, fmt.Errorf("soc: decoding platform: %w", err)
-	}
+// platformFromJSON converts the wire mirror back into a Platform. The
+// result is structurally decoded but not yet validated — callers decide
+// when Validate runs (LoadPlatform validates immediately; a bundle
+// validates the pair as a whole).
+func platformFromJSON(jp jsonPlatform) (*Platform, error) {
 	p := &Platform{
 		Name:            jp.Name,
 		BoardBaselineW:  jp.BoardBaselineW,
@@ -118,6 +112,51 @@ func LoadPlatform(r io.Reader) (*Platform, error) {
 			c.OPPs = append(c.OPPs, OPP{FreqMHz: o.FreqMHz, VoltV: o.VoltV})
 		}
 		p.Clusters = append(p.Clusters, c)
+	}
+	return p, nil
+}
+
+// MarshalJSON encodes the platform through the same schema Save writes,
+// so a platform nests inside larger JSON documents (notably the platform
+// catalog's bundle files). It performs no validation — Save does.
+func (p *Platform) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.toJSON())
+}
+
+// UnmarshalJSON decodes the Save/LoadPlatform schema. Like MarshalJSON it
+// is a pure codec: run Validate (or LoadPlatform) on untrusted input.
+func (p *Platform) UnmarshalJSON(data []byte) error {
+	var jp jsonPlatform
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return fmt.Errorf("soc: decoding platform: %w", err)
+	}
+	np, err := platformFromJSON(jp)
+	if err != nil {
+		return err
+	}
+	*p = *np
+	return nil
+}
+
+// Save writes the platform as indented JSON.
+func (p *Platform) Save(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.toJSON())
+}
+
+// LoadPlatform reads and validates a platform from JSON.
+func LoadPlatform(r io.Reader) (*Platform, error) {
+	var jp jsonPlatform
+	if err := json.NewDecoder(r).Decode(&jp); err != nil {
+		return nil, fmt.Errorf("soc: decoding platform: %w", err)
+	}
+	p, err := platformFromJSON(jp)
+	if err != nil {
+		return nil, err
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err

@@ -35,3 +35,36 @@ func Exynos5422Network() *Network {
 		},
 	}
 }
+
+// Exynos5410Network returns the lumped RC topology for the Exynos 5410
+// as mounted on the original Odroid-XU (smaller die, PowerVR SGX544
+// GPU, fan-cooled like its successor but with a slightly better
+// package-to-ambient path from the taller sink).
+//
+// Node names match the soc.Exynos5410 cluster names (A15, A7, SGX544)
+// plus the required "pkg" node. Calibration intent, with the power model
+// of internal/power at ambient 28 °C:
+//
+//   - big at 1600 MHz sustained: steady well above the 90 °C trip, so
+//     the 5410's notoriously hot firmware behaviour reproduces;
+//   - throttled at 800 MHz: steady ≈ 72–76 °C, safely below the 83 °C
+//     release point, so hardware protection always recovers.
+func Exynos5410Network() *Network {
+	return &Network{
+		Nodes: []Node{
+			{Name: "A15", HeatCapJ: 1.1},
+			{Name: "A7", HeatCapJ: 0.55},
+			{Name: "SGX544", HeatCapJ: 1.0},
+			{Name: "pkg", HeatCapJ: 1.4},
+		},
+		Links: []Link{
+			{A: 0, B: 3, ResCW: 4.8}, // A15 → pkg
+			{A: 1, B: 3, ResCW: 5.2}, // A7 → pkg
+			{A: 2, B: 3, ResCW: 3.4}, // SGX544 → pkg
+			{A: 3, B: Ambient, ResCW: 7.5},
+			{A: 0, B: Ambient, ResCW: 65.0}, // local spreading above big
+			{A: 2, B: Ambient, ResCW: 85.0}, // local spreading above GPU
+			{A: 0, B: 2, ResCW: 16.0},       // big–GPU die adjacency
+		},
+	}
+}

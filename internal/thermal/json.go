@@ -26,11 +26,9 @@ type jsonNetwork struct {
 	Links []jsonLink `json:"links"`
 }
 
-// Save writes the network as indented JSON with name-based link endpoints.
-func (n *Network) Save(w io.Writer) error {
-	if err := n.Validate(); err != nil {
-		return err
-	}
+// toJSON converts the network to its wire mirror. Link endpoints are
+// emitted by node name so the format is robust to reordering.
+func (n *Network) toJSON() jsonNetwork {
 	jn := jsonNetwork{}
 	for _, nd := range n.Nodes {
 		jn.Nodes = append(jn.Nodes, jsonNode{Name: nd.Name, HeatCapJ: nd.HeatCapJ})
@@ -42,17 +40,13 @@ func (n *Network) Save(w io.Writer) error {
 		}
 		jn.Links = append(jn.Links, jsonLink{A: n.Nodes[l.A].Name, B: b, ResCW: l.ResCW})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(jn)
+	return jn
 }
 
-// LoadNetwork reads and validates an RC network from JSON.
-func LoadNetwork(r io.Reader) (*Network, error) {
-	var jn jsonNetwork
-	if err := json.NewDecoder(r).Decode(&jn); err != nil {
-		return nil, fmt.Errorf("thermal: decoding network: %w", err)
-	}
+// networkFromJSON converts the wire mirror back into a Network without
+// validating it — LoadNetwork validates immediately, a platform bundle
+// validates the assembled pair.
+func networkFromJSON(jn jsonNetwork) (*Network, error) {
 	n := &Network{}
 	index := map[string]int{}
 	for i, nd := range jn.Nodes {
@@ -73,6 +67,51 @@ func LoadNetwork(r io.Reader) (*Network, error) {
 			b = bi
 		}
 		n.Links = append(n.Links, Link{A: a, B: b, ResCW: l.ResCW})
+	}
+	return n, nil
+}
+
+// MarshalJSON encodes the network through the same schema Save writes, so
+// a network nests inside larger JSON documents (the platform catalog's
+// bundle files). It performs no validation — Save does.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	return json.Marshal(n.toJSON())
+}
+
+// UnmarshalJSON decodes the Save/LoadNetwork schema. Like MarshalJSON it
+// is a pure codec: run Validate (or LoadNetwork) on untrusted input.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var jn jsonNetwork
+	if err := json.Unmarshal(data, &jn); err != nil {
+		return fmt.Errorf("thermal: decoding network: %w", err)
+	}
+	nn, err := networkFromJSON(jn)
+	if err != nil {
+		return err
+	}
+	*n = *nn
+	return nil
+}
+
+// Save writes the network as indented JSON with name-based link endpoints.
+func (n *Network) Save(w io.Writer) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(n.toJSON())
+}
+
+// LoadNetwork reads and validates an RC network from JSON.
+func LoadNetwork(r io.Reader) (*Network, error) {
+	var jn jsonNetwork
+	if err := json.NewDecoder(r).Decode(&jn); err != nil {
+		return nil, fmt.Errorf("thermal: decoding network: %w", err)
+	}
+	n, err := networkFromJSON(jn)
+	if err != nil {
+		return nil, err
 	}
 	if err := n.Validate(); err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"teem/internal/experiments"
 	"teem/internal/governor"
 	"teem/internal/mapping"
+	"teem/internal/platform"
 	"teem/internal/profile"
 	"teem/internal/regress"
 	"teem/internal/scenario"
@@ -70,9 +71,63 @@ const Ambient = thermal.Ambient
 // as mounted on the Odroid-XU4.
 func Exynos5422Thermal() *ThermalNetwork { return thermal.Exynos5422Network() }
 
+// Exynos5410Thermal returns the calibrated RC network of the Exynos 5410
+// as mounted on the original Odroid-XU.
+func Exynos5410Thermal() *ThermalNetwork { return thermal.Exynos5410Network() }
+
 // LoadThermalNetwork reads an RC topology from JSON (write one with
 // ThermalNetwork.Save).
 func LoadThermalNetwork(r io.Reader) (*ThermalNetwork, error) { return thermal.LoadNetwork(r) }
+
+// --- platform catalog (internal/platform) --------------------------------------
+
+// PlatformBundle is one hardware-catalog entry: a SoC description, the
+// thermal network it is calibrated against, and catalog metadata
+// (deployment class, accelerator slots), validated as a unit.
+type PlatformBundle = platform.Bundle
+
+// PlatformClass buckets platforms by deployment segment (edge, mobile,
+// server).
+type PlatformClass = platform.Class
+
+// AcceleratorSlot is a fixed-function accelerator attached to a
+// platform (NPU, DSP, ISP, ...).
+type AcceleratorSlot = platform.AcceleratorSlot
+
+// Deployment classes.
+const (
+	PlatformEdge   = platform.Edge
+	PlatformMobile = platform.Mobile
+	PlatformServer = platform.Server
+)
+
+// DefaultPlatformName is the catalog name of the default platform — the
+// paper's Exynos 5422 evaluation board.
+const DefaultPlatformName = platform.DefaultName
+
+// PlatformNames lists the builtin platform catalog in sorted order.
+func PlatformNames() []string { return platform.Names() }
+
+// GetPlatform resolves a builtin platform by catalog name, returning a
+// fresh copy.
+func GetPlatform(name string) (*PlatformBundle, error) { return platform.Get(name) }
+
+// DefaultPlatform returns the default catalog platform (exynos5422).
+func DefaultPlatform() *PlatformBundle { return platform.Default() }
+
+// ResolvePlatform interprets ref as a builtin catalog name first and a
+// bundle JSON file path second.
+func ResolvePlatform(ref string) (*PlatformBundle, error) { return platform.Resolve(ref) }
+
+// LoadPlatformBundle reads and validates a platform bundle from JSON
+// (write one with PlatformBundle.Save).
+func LoadPlatformBundle(r io.Reader) (*PlatformBundle, error) { return platform.Load(r) }
+
+// VerifyPlatform runs the catalog-wide validation suite over a bundle —
+// OPP monotonicity, sensor-node resolution, network connectivity and
+// stability, power-model sanity, trip-release viability — returning its
+// findings (empty = known-good).
+func VerifyPlatform(b *PlatformBundle) []string { return platform.Verify(b) }
 
 // ThermalModel integrates node temperatures over time (substepped
 // explicit Euler reference integrator plus a direct steady-state solver).
@@ -230,8 +285,9 @@ type ScenarioConfig = scenario.Config
 // ScenarioResult is one executed scenario × governor cell; GridResult a
 // whole matrix.
 type (
-	ScenarioResult     = scenario.Result
-	ScenarioGridResult = scenario.GridResult
+	ScenarioResult             = scenario.Result
+	ScenarioGridResult         = scenario.GridResult
+	ScenarioPlatformGridResult = scenario.PlatformGridResult
 )
 
 // GovernorFactory builds a fresh governor per scenario run.
@@ -271,6 +327,13 @@ func RunScenario(sc *Scenario, rc ScenarioConfig) (*ScenarioResult, error) {
 // byte-identical either way.
 func RunScenarioGrid(scs []*Scenario, governors []string, rc ScenarioConfig, workers int) (*ScenarioGridResult, error) {
 	return scenario.RunGrid(scs, governors, rc, workers)
+}
+
+// RunScenarioPlatformGrid fans a scenario × governor matrix out across
+// every named catalog platform — the hardware axis of the grid. Output
+// is byte-identical serial vs parallel, like RunScenarioGrid.
+func RunScenarioPlatformGrid(platforms []string, scs []*Scenario, governors []string, rc ScenarioConfig, workers int) (*ScenarioPlatformGridResult, error) {
+	return scenario.RunPlatformGrid(platforms, scs, governors, rc, workers)
 }
 
 // LoadArrivalTrace reads a recorded arrival log from JSON.
