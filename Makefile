@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint vulncheck fmt test race bench bench-json scenario-gate integrator-gate platform-gate serve-smoke soak-gate ci
+.PHONY: build vet lint vulncheck fmt test race bench bench-json scenario-gate integrator-gate platform-gate serve-smoke soak-gate obs-gate ci
 
 build:
 	$(GO) build ./...
@@ -50,7 +50,7 @@ bench:
 # BENCH_<date>.json — ns/op, B/op and allocs/op per benchmark. CI uploads
 # it as a non-gating artifact so the perf trajectory is tracked across PRs.
 BENCH_DATE := $(shell date -u +%Y-%m-%d)
-BENCH_CORE := 'BenchmarkSimRun|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioPreempt|BenchmarkScenarioGrid|BenchmarkScenarioGridPlatforms|BenchmarkScenarioReplaySparse|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto|BenchmarkServiceSubmit|BenchmarkServiceStream|BenchmarkServiceSoak|BenchmarkJournalReplay'
+BENCH_CORE := 'BenchmarkSimRun|BenchmarkInstrumentedTick|BenchmarkEngineSecond|BenchmarkFig5Serial|BenchmarkFig5Parallel|BenchmarkScenarioRun|BenchmarkScenarioPreempt|BenchmarkScenarioGrid|BenchmarkScenarioGridPlatforms|BenchmarkScenarioReplaySparse|BenchmarkStep$$|BenchmarkStepperStep|BenchmarkEvaluateInto|BenchmarkServiceSubmit|BenchmarkServiceStream|BenchmarkServiceSoak|BenchmarkJournalReplay|BenchmarkPromExposition'
 bench-json:
 	$(GO) test -run='^$$' -bench=$(BENCH_CORE) -benchmem ./internal/sim ./internal/scenario ./internal/thermal ./internal/power ./internal/service . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
@@ -98,4 +98,16 @@ serve-smoke:
 soak-gate:
 	$(GO) test ./cmd/teemd -run 'TestSoakGate|TestLoadSoak' -count=1 -v
 
-ci: build vet lint fmt test race bench scenario-gate integrator-gate platform-gate serve-smoke soak-gate vulncheck
+# Observability gate (docs/observability.md): boot teemd with the pprof
+# listener on, run a job, and verify the whole observability surface —
+# /metrics JSON unchanged, Prometheus text exposition format-valid under
+# content negotiation, lifecycle spans with the job's trace id on /trace
+# and the telemetry stream, and pprof answering on its own port only.
+# The instrumented-tick alloc proof rides along: the engine flight
+# recorder must cost zero allocations even with wall clocks enabled.
+obs-gate:
+	$(GO) test ./cmd/teemd -run TestObsGate -count=1 -v
+	$(GO) test ./internal/sim -run 'TestInstrumentedTickZeroAllocs|TestRunStatsConsistent' -count=1
+	$(GO) test ./internal/service -run 'TestMetricsPromExposition|TestTrace' -count=1
+
+ci: build vet lint fmt test race bench scenario-gate integrator-gate platform-gate serve-smoke soak-gate obs-gate vulncheck

@@ -8,11 +8,15 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"teem/internal/buildinfo"
+	"teem/internal/obs"
 	"teem/internal/scenario"
 	"teem/internal/service"
 )
@@ -38,6 +42,7 @@ func runLoad(args []string) {
 		dur     = fs.Duration("duration", 10*time.Second, "soak: how long to keep submitting")
 		tenants = fs.Int("tenants", 4, "soak: spread clients across this many tenants")
 		sloP99  = fs.Duration("slo-p99", 30*time.Second, "soak: p99 submit→done latency bound")
+		stats   = fs.Bool("stats", false, "print the engine flight-recorder aggregate of the local verification runs")
 		version = fs.Bool("version", false, "print version and exit")
 	)
 	_ = fs.Parse(args)
@@ -58,9 +63,25 @@ func runLoad(args []string) {
 	}
 
 	// The expected bytes come from the same code path the teemscenario
-	// CLI renders: a local serial grid run of the identical work.
+	// CLI renders: a local serial grid run of the identical work. With
+	// -stats those runs also feed the flight-recorder aggregate (the
+	// daemon side keeps its own recorders; these are the load tool's).
+	var statsMu sync.Mutex
+	var statsAgg obs.RunStats
 	expect := func(sc *scenario.Scenario) string {
-		grid, err := scenario.RunGrid([]*scenario.Scenario{sc}, governors, scenario.Config{PlatformName: *plat}, 1)
+		rc := scenario.Config{PlatformName: *plat}
+		if *stats {
+			rc.Clock = obs.Nanotime
+			rc.OnCell = func(r *scenario.Result) {
+				if r.Sim == nil {
+					return
+				}
+				statsMu.Lock()
+				statsAgg.Add(r.Sim.Stats)
+				statsMu.Unlock()
+			}
+		}
+		grid, err := scenario.RunGrid([]*scenario.Scenario{sc}, governors, rc, 1)
 		if err != nil {
 			log.Fatalf("computing expected output: %v", err)
 		}
@@ -87,11 +108,27 @@ func runLoad(args []string) {
 		}(c)
 	}
 
+	// SIGINT prints the summary for what has completed so far instead of
+	// dying mid-run with nothing — a long campaign is still reportable.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+
 	var latencies []time.Duration
 	ok, cachedN, failed := 0, 0, 0
+	interrupted := false
 	start := time.Now()
-	for i := 0; i < *clients**reqs; i++ {
-		o := <-results
+	total := *clients * *reqs
+collect:
+	for i := 0; i < total; i++ {
+		var o outcome
+		select {
+		case o = <-results:
+		case <-sigc:
+			interrupted = true
+			log.Printf("interrupted after %d of %d requests; printing the partial summary", i, total)
+			break collect
+		}
 		if o.err != nil {
 			failed++
 			log.Printf("request failed: %v", o.err)
@@ -116,10 +153,29 @@ func runLoad(args []string) {
 	fmt.Printf("  ok %d, cached %d, failed %d, wall %s\n", ok, cachedN, failed, wall.Round(time.Millisecond))
 	fmt.Printf("  latency p50 %s  p99 %s  max %s\n",
 		pct(0.50).Round(time.Millisecond), pct(0.99).Round(time.Millisecond), pct(1.0).Round(time.Millisecond))
+	if *stats {
+		statsMu.Lock()
+		fmt.Println("  flight recorder (local verification runs):")
+		fmt.Print(indentLines(statsAgg.String()))
+		statsMu.Unlock()
+	}
+	if interrupted {
+		fmt.Printf("  interrupted: %d of %d requests completed\n", ok+failed, total)
+		os.Exit(130)
+	}
 	if failed > 0 {
 		log.Fatalf("%d request(s) failed or returned non-CLI-identical bytes", failed)
 	}
 	fmt.Println("  every result byte-identical to the CLI render ✔")
+}
+
+// indentLines prefixes every line with four spaces for the stats block.
+func indentLines(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "    " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 // oneRequest submits, polls to terminal, fetches the result and compares

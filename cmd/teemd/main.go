@@ -33,6 +33,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -80,7 +81,8 @@ func runServe(args []string) {
 		faultJournalErr = fs.Int("fault-journal-err-every", 0, "fault injection: drop every Nth journal append (0 = off)")
 		faultSlowCell   = fs.Duration("fault-slow-cell", 0, "fault injection: delay every completed grid cell by this much (0 = off)")
 
-		version = fs.Bool("version", false, "print version and exit")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:0; empty = off)")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	_ = fs.Parse(args)
 	if *version {
@@ -128,6 +130,24 @@ func runServe(args []string) {
 	}
 	log.Printf("%s", buildinfo.String("teemd"))
 	log.Printf("listening on %s", ln.Addr())
+
+	if *pprofAddr != "" {
+		// Profiling rides a separate listener so the production API port
+		// never exposes pprof, and an operator can bind it to loopback
+		// only.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("pprof listening on %s", pln.Addr())
+		go func() { _ = (&http.Server{Handler: pmux}).Serve(pln) }()
+	}
 
 	srv := &http.Server{Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -49,8 +49,9 @@ func TestSoakGate(t *testing.T) {
 	// acknowledgements mean the submissions are fsynced to the journal.
 	d1 := startDaemon(t, "-journal", journal, "-workers", "1", "-fault-slow-cell", "1s")
 	type pending struct {
-		id   string
-		want string
+		id    string
+		trace string
+		want  string
 	}
 	var jobs []pending
 	for i := 0; i < 4; i++ {
@@ -67,7 +68,10 @@ func TestSoakGate(t *testing.T) {
 		if err := json.Unmarshal(body, &js); err != nil {
 			t.Fatal(err)
 		}
-		jobs = append(jobs, pending{id: js.ID, want: want})
+		if js.TraceID == "" {
+			t.Fatalf("submit %d acknowledged with no trace id", i)
+		}
+		jobs = append(jobs, pending{id: js.ID, trace: js.TraceID, want: want})
 	}
 	if err := d1.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no journal close
 		t.Fatal(err)
@@ -95,6 +99,9 @@ func TestSoakGate(t *testing.T) {
 		if js.Status != service.StatusDone {
 			t.Fatalf("recovered job %s ended %s: %s", p.id, js.Status, js.Error)
 		}
+		if js.TraceID != p.trace {
+			t.Errorf("job %s recovered under trace %q, want the pre-crash %q", p.id, js.TraceID, p.trace)
+		}
 		code, got := d2.get(t, "/v1/jobs/"+p.id+"/result")
 		if code != http.StatusOK {
 			t.Fatalf("result %s = %d: %s", p.id, code, got)
@@ -107,6 +114,34 @@ func TestSoakGate(t *testing.T) {
 	code, body = d2.get(t, "/healthz")
 	if code != http.StatusOK || !bytes.Contains(body, []byte(`"status": "ok"`)) {
 		t.Errorf("healthz after recovery = %d: %s", code, body)
+	}
+
+	// One trace per job across both process epochs: the restarted
+	// daemon's /trace must open each pre-crash trace id with a recover
+	// span.
+	code, body = d2.get(t, "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace = %d: %s", code, body)
+	}
+	recovered := make(map[string]bool)
+	tsc := bufio.NewScanner(bytes.NewReader(body))
+	tsc.Buffer(make([]byte, 1<<20), 1<<20)
+	for tsc.Scan() {
+		var sp struct {
+			Trace string `json:"trace"`
+			Phase string `json:"phase"`
+		}
+		if err := json.Unmarshal(tsc.Bytes(), &sp); err != nil {
+			t.Fatalf("bad span line %q: %v", tsc.Text(), err)
+		}
+		if sp.Phase == "recover" {
+			recovered[sp.Trace] = true
+		}
+	}
+	for _, p := range jobs {
+		if !recovered[p.trace] {
+			t.Errorf("no recover span for job %s trace %s on the restarted daemon", p.id, p.trace)
+		}
 	}
 
 	// Graceful shutdown flushes the journal so it can be audited.
@@ -126,6 +161,7 @@ func TestSoakGate(t *testing.T) {
 	defer f.Close()
 	finishes := make(map[string]int)
 	statuses := make(map[string]string)
+	journalTraces := make(map[string]string)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -133,6 +169,7 @@ func TestSoakGate(t *testing.T) {
 			Op     string `json:"op"`
 			ID     string `json:"id"`
 			Status string `json:"status"`
+			Trace  string `json:"trace"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			t.Fatalf("corrupt journal line %q: %v", sc.Text(), err)
@@ -140,6 +177,9 @@ func TestSoakGate(t *testing.T) {
 		if rec.Op == "finish" {
 			finishes[rec.ID]++
 			statuses[rec.ID] = rec.Status
+		}
+		if rec.Op == "submit" {
+			journalTraces[rec.ID] = rec.Trace
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -151,6 +191,9 @@ func TestSoakGate(t *testing.T) {
 		}
 		if statuses[p.id] != string(service.StatusDone) {
 			t.Errorf("journal finish for %s is %q, want done", p.id, statuses[p.id])
+		}
+		if journalTraces[p.id] != p.trace {
+			t.Errorf("journal submit for %s carries trace %q, want %q", p.id, journalTraces[p.id], p.trace)
 		}
 	}
 	for id, n := range finishes {

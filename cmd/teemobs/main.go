@@ -1,0 +1,152 @@
+// Command teemobs is the observability companion to teemd: a small
+// client for the daemon's metrics, trace and health endpoints, so an
+// operator (or a CI gate) can scrape, validate and tail a live daemon
+// without hand-rolled curl incantations.
+//
+// Usage:
+//
+//	teemobs metrics  -addr http://127.0.0.1:8080            # Prometheus text exposition
+//	teemobs metrics  -addr ... -format json                  # the JSON document instead
+//	teemobs metrics  -addr ... -validate                     # scrape + format-validate, print nothing
+//	teemobs trace    -addr ...                               # dump the buffered lifecycle spans
+//	teemobs trace    -addr ... -follow                       # ...and keep following live
+//	teemobs health   -addr ...                               # print /healthz; exit 1 unless status is "ok"
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"teem/internal/buildinfo"
+	"teem/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("teemobs: ")
+
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "metrics":
+		runMetrics(os.Args[2:])
+	case "trace":
+		runTrace(os.Args[2:])
+	case "health":
+		runHealth(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Println(buildinfo.String("teemobs"))
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: teemobs {metrics|trace|health} [-addr http://127.0.0.1:8080] ...")
+	os.Exit(2)
+}
+
+func runMetrics(args []string) {
+	fs := flag.NewFlagSet("teemobs metrics", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the teemd to scrape")
+	format := fs.String("format", "prom", "output format: prom (text exposition) or json")
+	validate := fs.Bool("validate", false, "validate the text exposition instead of printing it")
+	_ = fs.Parse(args)
+
+	accept := obs.ContentType
+	if *format == "json" {
+		if *validate {
+			log.Fatal("-validate applies to the prom format only")
+		}
+		accept = "application/json"
+	} else if *format != "prom" {
+		log.Fatalf("unknown format %q (want prom or json)", *format)
+	}
+	req, err := http.NewRequest("GET", *addr+"/metrics", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Accept", accept)
+	body := fetch(req)
+	if *validate {
+		if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+			log.Fatalf("exposition invalid: %v", err)
+		}
+		fmt.Printf("exposition valid (%d bytes)\n", len(body))
+		return
+	}
+	os.Stdout.Write(body)
+}
+
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("teemobs trace", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the teemd to tail")
+	follow := fs.Bool("follow", false, "keep following new spans until interrupted")
+	_ = fs.Parse(args)
+
+	url := *addr + "/trace"
+	if *follow {
+		url += "?follow=1"
+	}
+	resp, err := (&http.Client{}).Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runHealth(args []string) {
+	fs := flag.NewFlagSet("teemobs health", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the teemd to check")
+	_ = fs.Parse(args)
+
+	req, err := http.NewRequest("GET", *addr+"/healthz", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body := fetch(req)
+	os.Stdout.Write(body)
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		log.Fatalf("decoding healthz: %v", err)
+	}
+	if h.Status != "ok" {
+		log.Fatalf("daemon is %s", h.Status)
+	}
+}
+
+// fetch performs one request and returns the body; any transport error
+// or non-2xx status is fatal — teemobs is a checker, not a retrier.
+func fetch(req *http.Request) []byte {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	return body
+}

@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"teem/internal/buildinfo"
+	"teem/internal/obs"
 	"teem/internal/platform"
 	"teem/internal/scenario"
 	"teem/internal/sim"
@@ -59,6 +60,7 @@ func main() {
 		platRef    = flag.String("platform", "", "platform: builtin catalog name or bundle JSON file (with -thermal: a bare SoC description JSON)")
 		platforms  = flag.String("platforms", "", `comma-separated catalog platforms to grid over, or "all" for the whole catalog`)
 		netPath    = flag.String("thermal", "", "custom thermal network (JSON); requires -platform with a bare SoC description")
+		stats      = flag.Bool("stats", false, "print the per-cell engine flight recorder (tick/superstep counts, cache hits, phase wall time) after the grid")
 		list       = flag.Bool("list", false, "list built-in presets, platforms and governors, then exit")
 		dump       = flag.Bool("dump", false, "print the selected scenarios as JSON, then exit")
 		version    = flag.Bool("version", false, "print version and exit")
@@ -140,6 +142,11 @@ func main() {
 	}
 
 	rc := scenario.Config{DisableSuperstep: !*supersteps}
+	if *stats {
+		// Opt in to per-phase wall timing: the flight-recorder counters
+		// are always on, the clock reads only with -stats.
+		rc.Clock = obs.Nanotime
+	}
 	switch *integrator {
 	case "exact":
 		rc.Integrator = sim.IntegratorExact
@@ -218,6 +225,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(grid.Render())
+		if *stats {
+			var cells []*scenario.Result
+			for _, plane := range grid.Cells {
+				for _, row := range plane {
+					cells = append(cells, row...)
+				}
+			}
+			printStats(cells)
+		}
 		if n := grid.Violations(); n > 0 {
 			log.Fatalf("%d assertion violation(s)", n)
 		}
@@ -229,7 +245,39 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(grid.Render())
+	if *stats {
+		var cells []*scenario.Result
+		for _, row := range grid.Cells {
+			cells = append(cells, row...)
+		}
+		printStats(cells)
+	}
 	if n := grid.Violations(); n > 0 {
 		log.Fatalf("%d assertion violation(s)", n)
 	}
+}
+
+// printStats renders each cell's engine flight recorder plus the grid
+// aggregate. Cells that errored before producing a result are skipped.
+func printStats(cells []*scenario.Result) {
+	var agg obs.RunStats
+	for _, r := range cells {
+		if r == nil || r.Sim == nil {
+			continue
+		}
+		fmt.Printf("\nflight recorder: %s under %s on %s\n", r.Scenario, r.Governor, r.Platform)
+		fmt.Print(indent(r.Sim.Stats.String()))
+		agg.Add(r.Sim.Stats)
+	}
+	fmt.Print("\nflight recorder: grid aggregate\n")
+	fmt.Print(indent(agg.String()))
+}
+
+// indent prefixes every line with two spaces for the stats blocks.
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }

@@ -75,6 +75,10 @@
 //	          presets, trace replay and grid fan-out
 //	service   simulations as managed jobs: bounded worker pool, request
 //	          cache, cancellation, NDJSON telemetry — served by cmd/teemd
+//	obs       the observability layer the others report through: the
+//	          engine's zero-allocation flight recorder (sim.Result.Stats),
+//	          job trace ids and lifecycle spans, and the Prometheus text
+//	          exposition writer + validator behind teemd's /metrics
 //
 // Package teem re-exports the stable surface of these internal packages
 // as type aliases and constructor wrappers; go doc on the individual

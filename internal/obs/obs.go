@@ -1,0 +1,60 @@
+// Package obs is the observability layer: the engine flight recorder
+// (RunStats), trace-id minting and span schema for teemd's job tracing,
+// a Prometheus text-exposition writer and validator, and fixed-bucket
+// histograms for latency surfaces.
+//
+// The package sits deliberately OUTSIDE the deterministic simulation
+// core (it is not in the teemvet determinism analyzer's core list), so
+// it may read wall clocks. Core packages never import time through it:
+// they hold a pre-acquired `func() int64` clock value (Nanotime) that
+// the caller opts into, so a default simulation run performs zero clock
+// reads and stays bit-reproducible.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// clockBase anchors Nanotime; time.Since carries the monotonic reading.
+var clockBase = time.Now()
+
+// Nanotime returns monotonic elapsed nanoseconds since process start.
+// It is handed to the engine as a plain func value (sim.Config.Clock)
+// so the deterministic core never names the time package; when the
+// value is nil the engine performs no clock reads at all.
+func Nanotime() int64 { return int64(time.Since(clockBase)) }
+
+// traceCounter backs the collision-proof fallback when the system
+// entropy source is unavailable.
+var traceCounter atomic.Uint64
+
+// NewTraceID mints a 16-hex-character trace id. Trace ids are per-job
+// identity, never part of a request hash: a cached duplicate submission
+// shares the original job's trace.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%015x", traceCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one NDJSON trace event on teemd's /trace stream: a point in a
+// job's lifecycle (submit → queue → retry → run → journal-commit →
+// done/shed/cancelled, plus recover after a restart). Spans carry the
+// job's trace id, so a job's life is reconstructable post-mortem by
+// grepping one id across the submit response, the telemetry stream,
+// the journal, and /trace — including across daemon restarts.
+type Span struct {
+	Trace   string    `json:"trace"`
+	Job     string    `json:"job,omitempty"`
+	Phase   string    `json:"phase"`
+	At      time.Time `json:"at"`
+	Tenant  string    `json:"tenant,omitempty"`
+	Attempt int       `json:"attempt,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}

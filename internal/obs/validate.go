@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text exposition (format 0.0.4)
+// for structural validity: every sample belongs to a family with a
+// `# TYPE` (and `# HELP`) line declared before it, names and labels are
+// well formed with valid escaping, no duplicate series appear, counter
+// samples are finite and non-negative (the in-exposition face of
+// monotonicity), and histogram families carry sorted cumulative
+// `le` buckets ending at +Inf whose terminal bucket equals `_count`.
+// It is both a test oracle (the exposition golden/validator tests) and
+// the check teemobs and the obs gate run against a live daemon.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	type family struct {
+		typ     string
+		help    bool
+		sampled bool
+	}
+	families := make(map[string]*family)
+	seen := make(map[string]bool) // duplicate-series detection
+	type bucketState struct {
+		prevLe  float64
+		prevVal float64
+		infVal  float64
+		hasInf  bool
+		count   float64
+		hasCnt  bool
+	}
+	hists := make(map[string]*bucketState) // keyed by family + non-le labels
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("exposition line %d: %s: %q", lineNo, fmt.Sprintf(format, args...), line)
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fail("invalid metric name %q", name)
+			}
+			f := families[name]
+			if f == nil {
+				f = &family{}
+				families[name] = f
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.help {
+					return fail("duplicate HELP for %s", name)
+				}
+				f.help = true
+			case "TYPE":
+				if len(fields) < 4 {
+					return fail("TYPE without a type")
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fail("unknown type %q", fields[3])
+				}
+				if f.typ != "" {
+					return fail("duplicate TYPE for %s", name)
+				}
+				if f.sampled {
+					return fail("TYPE for %s after its samples", name)
+				}
+				f.typ = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		famName, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name {
+				if f := families[base]; f != nil && f.typ == "histogram" {
+					famName, suffix = base, sfx
+				}
+				break
+			}
+		}
+		f := families[famName]
+		if f == nil || f.typ == "" {
+			return fail("sample for %s has no preceding # TYPE", famName)
+		}
+		if !f.help {
+			return fail("sample for %s has no preceding # HELP", famName)
+		}
+		f.sampled = true
+
+		series := name + "{" + strings.Join(labels, ",") + "}"
+		if seen[series] {
+			return fail("duplicate series %s", series)
+		}
+		seen[series] = true
+
+		if f.typ == "counter" && (value < 0 || math.IsNaN(value) || math.IsInf(value, 0)) {
+			return fail("counter %s has non-monotone-compatible value %v", name, value)
+		}
+
+		if f.typ == "histogram" {
+			le, rest := "", make([]string, 0, len(labels))
+			for _, l := range labels {
+				if v, ok := strings.CutPrefix(l, "le="); ok {
+					le = v
+				} else {
+					rest = append(rest, l)
+				}
+			}
+			key := famName + "{" + strings.Join(rest, ",") + "}"
+			st := hists[key]
+			if st == nil {
+				st = &bucketState{prevLe: math.Inf(-1)}
+				hists[key] = st
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return fail("histogram bucket without an le label")
+				}
+				ub, err := parseValue(strings.Trim(le, `"`))
+				if err != nil {
+					return fail("bad le value %s", le)
+				}
+				if ub <= st.prevLe {
+					return fail("histogram %s buckets not sorted (le %v after %v)", famName, ub, st.prevLe)
+				}
+				if value < st.prevVal {
+					return fail("histogram %s bucket counts decrease at le=%v", famName, ub)
+				}
+				st.prevLe, st.prevVal = ub, value
+				if math.IsInf(ub, 1) {
+					st.hasInf, st.infVal = true, value
+				}
+			case "_count":
+				st.hasCnt, st.count = true, value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name, f := range families {
+		if f.typ == "histogram" && f.sampled {
+			for key, st := range hists {
+				if !strings.HasPrefix(key, name+"{") {
+					continue
+				}
+				if !st.hasInf {
+					return fmt.Errorf("exposition: histogram series %s has no +Inf bucket", key)
+				}
+				if st.hasCnt && st.count != st.infVal {
+					return fmt.Errorf("exposition: histogram series %s _count %v != +Inf bucket %v", key, st.count, st.infVal)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// parseSample splits `name{label="v",...} value` into its parts,
+// validating label syntax and escape sequences. Labels come back as
+// raw `key="escaped"` strings in declaration order.
+func parseSample(line string) (name string, labels []string, value float64, err error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			for i < len(line) && line[i] == ',' {
+				i++
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			start := i
+			for i < len(line) && line[i] != '=' {
+				i++
+			}
+			lname := line[start:i]
+			if !validLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			if i >= len(line) || line[i] != '=' {
+				return "", nil, 0, fmt.Errorf("label %q missing =", lname)
+			}
+			i++
+			if i >= len(line) || line[i] != '"' {
+				return "", nil, 0, fmt.Errorf("label %q value not quoted", lname)
+			}
+			i++
+			vstart := i
+			for i < len(line) && line[i] != '"' {
+				if line[i] == '\\' {
+					if i+1 >= len(line) {
+						return "", nil, 0, fmt.Errorf("label %q truncated escape", lname)
+					}
+					switch line[i+1] {
+					case '\\', '"', 'n':
+					default:
+						return "", nil, 0, fmt.Errorf("label %q invalid escape \\%c", lname, line[i+1])
+					}
+					i++
+				}
+				i++
+			}
+			if i >= len(line) {
+				return "", nil, 0, fmt.Errorf("label %q unterminated value", lname)
+			}
+			labels = append(labels, lname+`="`+line[vstart:i]+`"`)
+			i++ // closing quote
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", nil, 0, fmt.Errorf("malformed sample body %q", rest)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "__" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

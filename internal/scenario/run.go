@@ -78,6 +78,10 @@ type Config struct {
 	// completed cell, from the worker goroutine that ran it (calls may
 	// be concurrent) — the grid progress hook.
 	OnCell func(r *Result)
+	// Clock, when non-nil, enables per-phase wall timing in the engine
+	// flight recorder (see sim.Config.Clock; pass obs.Nanotime). Nil
+	// keeps the hot loop free of clock reads.
+	Clock func() int64
 }
 
 // Result is one executed scenario × governor cell.
@@ -167,6 +171,7 @@ func RunCtx(ctx context.Context, sc *Scenario, rc Config) (*Result, error) {
 		InitialTempsC:    rc.InitialTempsC,
 		Done:             ctx.Done(),
 		OnSample:         rc.OnSample,
+		Clock:            rc.Clock,
 	}
 	e, err := sim.New(cfg)
 	if err != nil {

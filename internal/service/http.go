@@ -20,8 +20,10 @@ import (
 //	GET    /v1/jobs/{id}/result rendered result text (byte-identical to the CLI)
 //	GET    /v1/jobs/{id}/stream live NDJSON telemetry (replays history, then follows)
 //	POST   /v1/jobs/{id}/cancel cancel (DELETE /v1/jobs/{id} is an alias)
-//	GET    /healthz             liveness + queue counts
-//	GET    /metrics             service counters as JSON
+//	GET    /healthz             liveness + queue counts + journal health
+//	GET    /metrics             service counters: JSON by default, Prometheus
+//	                            text exposition under `Accept: text/plain`
+//	GET    /trace               job lifecycle spans as NDJSON (?follow=1 streams)
 //	GET    /debug/vars          process-wide expvar (includes teemd.* when published)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -33,6 +35,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /trace", s.handleTrace)
 	mux.Handle("GET /metrics", s.Metrics())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
@@ -176,13 +179,39 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Snapshot())
 }
 
+// handleTrace serves the service-wide lifecycle-span ring as NDJSON:
+// the buffered spans, then — with ?follow=1 — everything new until the
+// client disconnects.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	follow := r.URL.Query().Get("follow") == "1"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	_ = s.Trace(r.Context(), follow, func(line []byte) error {
+		if _, werr := w.Write(line); werr != nil {
+			return werr
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	queued, running := s.Counts()
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
+	jh := s.journal.health()
 	status := "ok"
 	code := http.StatusOK
+	if jh.Degraded {
+		// The daemon serves, but the last journal flush failed:
+		// acknowledged work may not survive a crash until one lands.
+		status = "degraded"
+	}
 	if closed {
 		// A draining daemon fails its health check so load balancers
 		// stop routing to it while in-flight jobs finish.
@@ -195,5 +224,6 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"jobs_queued":  queued,
 		"jobs_running": running,
 		"recoveries":   s.metrics.recoveries.Value(),
+		"journal":      jh,
 	})
 }

@@ -43,6 +43,10 @@ func (s Status) Terminal() bool {
 type Job struct {
 	// ID is the service-assigned handle ("j1", "j2", ...).
 	ID string
+	// TraceID correlates the job's lifecycle spans across the submit
+	// response, telemetry stream, journal and /trace — stable across a
+	// daemon restart (recovery re-registers under the journalled id).
+	TraceID string
 	// Req is the normalized request the job runs.
 	Req *JobRequest
 
@@ -70,9 +74,10 @@ type Job struct {
 	finishedAt  time.Time //teem:guards mu
 }
 
-func newJob(id string, req *JobRequest, key string, svc *Service) *Job {
+func newJob(id, traceID string, req *JobRequest, key string, svc *Service) *Job {
 	return &Job{
 		ID:          id,
+		TraceID:     traceID,
 		Req:         req,
 		key:         key,
 		svc:         svc,
@@ -84,9 +89,11 @@ func newJob(id string, req *JobRequest, key string, svc *Service) *Job {
 
 // JobStatus is the wire snapshot of a job.
 type JobStatus struct {
-	ID     string `json:"id"`
-	Kind   string `json:"kind"`
-	Status Status `json:"status"`
+	ID string `json:"id"`
+	// TraceID is the job's lifecycle-trace correlation id (see /trace).
+	TraceID string `json:"trace_id,omitempty"`
+	Kind    string `json:"kind"`
+	Status  Status `json:"status"`
 	// Tenant and Priority echo the admission parameters the job was
 	// accepted under.
 	Tenant   string `json:"tenant,omitempty"`
@@ -115,6 +122,7 @@ func (j *Job) Snapshot() JobStatus {
 	defer j.mu.Unlock()
 	js := JobStatus{
 		ID:          j.ID,
+		TraceID:     j.TraceID,
 		Kind:        j.Req.Kind,
 		Status:      j.status,
 		Tenant:      j.Req.Tenant,
@@ -216,6 +224,7 @@ func (j *Job) finishQueued(st Status, msg string, count func(*metrics, *tenantSt
 	count(s.metrics, ts)
 	s.flight.Forget(j.key)
 	s.journal.append(journalRecord{Op: opFinish, ID: j.ID, Status: st, Error: msg})
+	s.span(j, string(st), msg, 0)
 	j.publishDone(st)
 	j.stream.close()
 	return true
@@ -267,6 +276,7 @@ func (j *Job) run(poolCtx context.Context) {
 		return
 	}
 	first := j.retries == 0
+	attempt := j.retries
 	j.status = StatusRunning
 	j.cancel = cancel
 	if first {
@@ -275,6 +285,7 @@ func (j *Job) run(poolCtx context.Context) {
 	j.mu.Unlock()
 	s.metrics.queued.Add(-1)
 	s.metrics.running.Add(1)
+	s.span(j, "run", "", attempt)
 	if first {
 		s.journal.append(journalRecord{Op: opStart, ID: j.ID})
 		j.publishStart()
@@ -306,10 +317,12 @@ func (j *Job) run(poolCtx context.Context) {
 	status := j.status
 	errMsg := j.err
 	latency := j.finishedAt.Sub(j.submittedAt)
+	runtime := j.finishedAt.Sub(j.startedAt)
 	j.mu.Unlock()
 
 	s.metrics.running.Add(-1)
 	s.metrics.observeLatency(latency)
+	s.metrics.observeRun(runtime)
 	ts := s.metrics.tenant(j.Req.Tenant)
 	ts.queued.Add(-1)
 	switch status {
@@ -324,6 +337,7 @@ func (j *Job) run(poolCtx context.Context) {
 		s.flight.Forget(j.key)
 	}
 	s.journal.append(journalRecord{Op: opFinish, ID: j.ID, Status: status, Error: errMsg})
+	s.span(j, string(status), errMsg, 0)
 	j.publishDone(status)
 	j.stream.close()
 }
@@ -376,7 +390,8 @@ func (s *Service) scheduleRetry(j *Job, cause error) bool {
 
 	s.metrics.retried.Add(1)
 	s.journal.append(journalRecord{Op: opRetry, ID: j.ID, Attempt: attempt, Error: cause.Error()})
-	j.stream.publish(retryEvent{Type: "retry", Job: j.ID, Attempt: attempt, DelayS: delay.Seconds(), Error: cause.Error()})
+	s.span(j, "retry", cause.Error(), attempt)
+	j.stream.publish(retryEvent{Type: "retry", Job: j.ID, Trace: j.TraceID, Attempt: attempt, DelayS: delay.Seconds(), Error: cause.Error()})
 	s.logf("job %s: transient failure (attempt %d/%d), retrying in %s: %v",
 		j.ID, attempt, s.retry.MaxAttempts, delay.Round(time.Millisecond), cause)
 	return true
@@ -438,10 +453,13 @@ func (j *Job) fireRetryNow() {
 // (t=0, 0 W, a 0 s execution time) are never dropped from the wire;
 // streamEvent below is the decode-side union.
 
-// lifecycleEvent announces "start" and "done".
+// lifecycleEvent announces "start" and "done". Trace carries the job's
+// lifecycle-trace id so stream consumers can join telemetry against the
+// /trace spans and the journal.
 type lifecycleEvent struct {
 	Type   string `json:"type"`
 	Job    string `json:"job"`
+	Trace  string `json:"trace,omitempty"`
 	Kind   string `json:"kind,omitempty"`
 	Status Status `json:"status,omitempty"`
 	Error  string `json:"error,omitempty"`
@@ -452,6 +470,7 @@ type lifecycleEvent struct {
 type retryEvent struct {
 	Type    string  `json:"type"`
 	Job     string  `json:"job"`
+	Trace   string  `json:"trace,omitempty"`
 	Attempt int     `json:"attempt"`
 	DelayS  float64 `json:"delay_s"`
 	Error   string  `json:"error,omitempty"`
@@ -483,9 +502,10 @@ type cellEvent struct {
 // clients (and the tests) unmarshal into.
 type streamEvent struct {
 	// Type is "start", "sample", "cell", "retry" or "done".
-	Type string `json:"type"`
-	Job  string `json:"job,omitempty"`
-	Kind string `json:"kind,omitempty"`
+	Type  string `json:"type"`
+	Job   string `json:"job,omitempty"`
+	Trace string `json:"trace,omitempty"`
+	Kind  string `json:"kind,omitempty"`
 
 	TimeS    float64   `json:"t_s,omitempty"`
 	TempsC   []float64 `json:"temps_c,omitempty"`
@@ -509,7 +529,7 @@ type streamEvent struct {
 }
 
 func (j *Job) publishStart() {
-	j.stream.publish(lifecycleEvent{Type: "start", Job: j.ID, Kind: j.Req.Kind})
+	j.stream.publish(lifecycleEvent{Type: "start", Job: j.ID, Trace: j.TraceID, Kind: j.Req.Kind})
 }
 
 // publishSample is the sim trace-subscriber hook: it serializes one
@@ -548,7 +568,7 @@ func (j *Job) publishDone(st Status) {
 	j.mu.Lock()
 	errMsg := j.err
 	j.mu.Unlock()
-	j.stream.publish(lifecycleEvent{Type: "done", Job: j.ID, Status: st, Error: errMsg})
+	j.stream.publish(lifecycleEvent{Type: "done", Job: j.ID, Trace: j.TraceID, Status: st, Error: errMsg})
 }
 
 // Stream replays the job's telemetry from the beginning and follows it

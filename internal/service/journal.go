@@ -64,6 +64,10 @@ type journalRecord struct {
 	Error string `json:"error,omitempty"`
 	// Attempt counts completed executions (retry records).
 	Attempt int `json:"attempt,omitempty"`
+	// Trace is the job's lifecycle-trace id (submit records only), so a
+	// recovered job keeps the trace it was submitted under and one trace
+	// id spans the restart.
+	Trace string `json:"trace,omitempty"`
 	// Req is the normalized request (submit records only) — everything
 	// recovery needs to re-run the job, tenant and priority included.
 	Req *JobRequest `json:"req,omitempty"`
@@ -90,7 +94,12 @@ type journal struct {
 	flushedN int64  //teem:guards mu — seq of the newest record on disk
 	size     int64  //teem:guards mu
 	closed   bool   //teem:guards mu
-	done     chan struct{}
+	// lastErr is the most recent flush failure ("" = the last flush
+	// landed), and compactSeq the appendN at the last compaction — the
+	// health endpoint reports both.
+	lastErr    string //teem:guards mu
+	compactSeq int64  //teem:guards mu
+	done       chan struct{}
 }
 
 // defaultCompactBytes bounds journal growth when Options leave it 0.
@@ -210,9 +219,11 @@ func (j *journal) flusher() {
 		j.mu.Lock()
 		j.flushedN = target
 		if werr != nil {
+			j.lastErr = werr.Error()
 			j.m.journalErrors.Add(1)
 			j.logf("journal: write: %v", werr)
 		} else {
+			j.lastErr = ""
 			j.size += int64(len(batch))
 			j.m.journalAppends.Add(1)
 			j.m.journalBytes.Set(j.size)
@@ -285,9 +296,40 @@ func (j *journal) rewriteLocked(recs []journalRecord) error {
 	old.Close()
 	j.f = nf
 	j.size = size
+	j.compactSeq = j.appendN
 	j.m.journalBytes.Set(size)
 	j.m.journalCompactions.Add(1)
 	return nil
+}
+
+// journalHealth is the health endpoint's view of the write-ahead log.
+type journalHealth struct {
+	// Enabled reports whether a journal is configured at all.
+	Enabled bool `json:"enabled"`
+	// Degraded means the most recent flush failed: acknowledged work may
+	// not survive a crash until a flush lands again. LastError carries
+	// the failure.
+	Degraded  bool   `json:"degraded"`
+	LastError string `json:"last_error,omitempty"`
+	// RecordsSinceCompaction counts appends since the file was last
+	// rewritten to its live image — a growth gauge.
+	RecordsSinceCompaction int64 `json:"records_since_compaction"`
+}
+
+// health snapshots the journal's durability state. A nil journal is
+// healthy-but-disabled (volatile mode).
+func (j *journal) health() journalHealth {
+	if j == nil {
+		return journalHealth{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return journalHealth{
+		Enabled:                true,
+		Degraded:               j.lastErr != "",
+		LastError:              j.lastErr,
+		RecordsSinceCompaction: j.appendN - j.compactSeq,
+	}
 }
 
 // close flushes whatever is pending and closes the file.
@@ -322,9 +364,10 @@ func (j *journal) close() {
 
 // recoveredJob is one uncompleted submit found in the journal.
 type recoveredJob struct {
-	id  string
-	req *JobRequest
-	seq int64
+	id    string
+	trace string
+	req   *JobRequest
+	seq   int64
 }
 
 // journalScan is the outcome of reading a journal file.
@@ -383,7 +426,7 @@ func readJournal(path string) (journalScan, error) {
 			if _, dup := submits[rec.ID]; dup {
 				continue // compaction duplicate; first wins
 			}
-			submits[rec.ID] = recoveredJob{id: rec.ID, req: rec.Req, seq: rec.Seq}
+			submits[rec.ID] = recoveredJob{id: rec.ID, trace: rec.Trace, req: rec.Req, seq: rec.Seq}
 			order = append(order, rec.ID)
 		case opFinish:
 			if terminal[rec.ID] {

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"teem/internal/buildinfo"
+	"teem/internal/obs"
 )
 
 // latencyWindow bounds the sliding window the latency percentiles are
@@ -72,12 +74,20 @@ type metrics struct {
 	// latencies is a ring of the last latencyWindow samples, in seconds.
 	latencies []float64 //teem:guards mu
 	latIdx    int       //teem:guards mu
+	// latHist and runHist are the Prometheus-facing distributions:
+	// submit→finish latency and start→finish run duration. The ring
+	// keeps serving the JSON percentiles; the histograms serve /metrics
+	// text exposition.
+	latHist *obs.Histogram //teem:guards mu
+	runHist *obs.Histogram //teem:guards mu
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		latencies: make([]float64, 0, latencyWindow),
 		tenants:   make(map[string]*tenantStats),
+		latHist:   obs.NewHistogram(obs.LatencyBuckets()...),
+		runHist:   obs.NewHistogram(obs.LatencyBuckets()...),
 	}
 }
 
@@ -97,12 +107,20 @@ func (m *metrics) observeLatency(d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := d.Seconds()
+	m.latHist.Observe(s)
 	if len(m.latencies) < latencyWindow {
 		m.latencies = append(m.latencies, s)
 		return
 	}
 	m.latencies[m.latIdx] = s
 	m.latIdx = (m.latIdx + 1) % latencyWindow
+}
+
+// observeRun records one job's start→finish run duration.
+func (m *metrics) observeRun(d time.Duration) {
+	m.mu.Lock()
+	m.runHist.Observe(d.Seconds())
+	m.mu.Unlock()
 }
 
 // percentile computes the p-quantile (0..1) of the latency window.
@@ -191,8 +209,97 @@ func (v *Metrics) vars() map[string]any {
 	return m
 }
 
-// ServeHTTP serves the metric set as JSON (the /metrics endpoint).
-func (v *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+// prom renders the metric set in Prometheus text exposition format
+// 0.0.4: counters, gauges, per-tenant labelled families in sorted
+// tenant order (byte-stable output for a fixed counter state), and the
+// latency/run-duration histograms.
+func (v *Metrics) prom() []byte {
+	m := v.m
+	var e obs.Exposition
+	e.Metric("teemd_build_info", "gauge",
+		"Build metadata; the version label carries the daemon version.").
+		Sample(1, "version", buildinfo.Version)
+	e.Metric("teemd_jobs_queued", "gauge", "Jobs accepted and waiting for a worker.").Sample(float64(m.queued.Value()))
+	e.Metric("teemd_jobs_running", "gauge", "Jobs currently executing.").Sample(float64(m.running.Value()))
+	for _, c := range []struct {
+		name, help string
+		v          *expvar.Int
+	}{
+		{"teemd_jobs_done_total", "Jobs finished successfully.", &m.done},
+		{"teemd_jobs_failed_total", "Jobs finished in failure.", &m.failed},
+		{"teemd_jobs_cancelled_total", "Jobs cancelled before or during execution.", &m.cancelled},
+		{"teemd_jobs_shed_total", "Queued jobs displaced by higher-priority submissions.", &m.shed},
+		{"teemd_jobs_retried_total", "Transient-failure re-executions.", &m.retried},
+		{"teemd_cache_hits_total", "Submissions answered by the request-hash cache.", &m.cacheHits},
+		{"teemd_quota_rejected_total", "Submissions refused by tenant quotas.", &m.quotaRejected},
+		{"teemd_recoveries_total", "Jobs re-run from the journal at startup.", &m.recoveries},
+		{"teemd_recovery_skipped_total", "Journal records skipped during recovery.", &m.recoverySkipped},
+		{"teemd_journal_appends_total", "Fsynced journal batches.", &m.journalAppends},
+		{"teemd_journal_errors_total", "Dropped or failed journal writes.", &m.journalErrors},
+		{"teemd_journal_compactions_total", "Journal rewrites to the live image.", &m.journalCompactions},
+	} {
+		e.Metric(c.name, "counter", c.help).Sample(float64(c.v.Value()))
+	}
+	e.Metric("teemd_journal_bytes", "gauge", "Journal file size after the last flush.").
+		Sample(float64(m.journalBytes.Value()))
+
+	m.tenantMu.Lock()
+	tenants := make(map[string]*tenantStats, len(m.tenants))
+	for name, t := range m.tenants {
+		tenants[name] = t
+	}
+	m.tenantMu.Unlock()
+	if len(tenants) > 0 {
+		names := obs.SortedKeys(tenants)
+		families := []struct {
+			name, mtype, help string
+			v                 func(*tenantStats) int64
+		}{
+			{"teemd_tenant_jobs_active", "gauge", "Per-tenant non-terminal jobs (queued + running).",
+				func(t *tenantStats) int64 { return t.queued.Value() }},
+			{"teemd_tenant_submitted_total", "counter", "Per-tenant accepted submissions.",
+				func(t *tenantStats) int64 { return t.submitted.Value() }},
+			{"teemd_tenant_done_total", "counter", "Per-tenant successful completions.",
+				func(t *tenantStats) int64 { return t.done.Value() }},
+			{"teemd_tenant_shed_total", "counter", "Per-tenant jobs displaced from the queue.",
+				func(t *tenantStats) int64 { return t.shed.Value() }},
+			{"teemd_tenant_quota_rejected_total", "counter", "Per-tenant quota rejections.",
+				func(t *tenantStats) int64 { return t.quotaRejected.Value() }},
+		}
+		for _, fam := range families {
+			pm := e.Metric(fam.name, fam.mtype, fam.help)
+			for _, name := range names {
+				pm.Sample(float64(fam.v(tenants[name])), "tenant", name)
+			}
+		}
+	}
+
+	m.mu.Lock()
+	lat := m.latHist.Snapshot()
+	run := m.runHist.Snapshot()
+	m.mu.Unlock()
+	e.Histogram("teemd_job_latency_seconds", "Job submit-to-finish latency.", lat)
+	e.Histogram("teemd_job_run_seconds", "Job start-to-finish run duration.", run)
+	return e.Bytes()
+}
+
+// wantsProm reports whether the request negotiates the Prometheus text
+// exposition: any Accept header mentioning text/plain or openmetrics.
+// Everything else — including no Accept at all — gets the original JSON
+// document, byte-stable for existing scrapers and the soak tests.
+func wantsProm(r *http.Request) bool {
+	accept := strings.ToLower(r.Header.Get("Accept"))
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// ServeHTTP serves the metric set (the /metrics endpoint): Prometheus
+// text exposition when the client asks for it, JSON otherwise.
+func (v *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r != nil && wantsProm(r) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		_, _ = w.Write(v.prom())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

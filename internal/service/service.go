@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"teem/internal/experiments"
+	"teem/internal/obs"
 	"teem/internal/par"
 )
 
@@ -154,6 +155,7 @@ type Service struct {
 	quotas  *quotas
 	retry   RetryPolicy
 	faults  *faultState
+	tracer  *tracer
 	logf    func(format string, args ...any)
 
 	mu     sync.Mutex
@@ -204,6 +206,7 @@ func New(o Options) (*Service, error) {
 		quotas:  newQuotas(o.Quotas),
 		retry:   o.Retry.withDefaults(),
 		faults:  newFaultState(o.Faults),
+		tracer:  newTracer(),
 		logf:    logf,
 		jobs:    make(map[string]*Job),
 		byKey:   make(map[string]string),
@@ -227,7 +230,7 @@ func New(o Options) (*Service, error) {
 		// across restarts and can never hold two finishes for one id.
 		recs := make([]journalRecord, len(scan.pending))
 		for i, r := range scan.pending {
-			recs[i] = journalRecord{Op: opSubmit, ID: r.id, Req: r.req}
+			recs[i] = journalRecord{Op: opSubmit, ID: r.id, Trace: r.trace, Req: r.req}
 		}
 		j.mu.Lock()
 		err = j.rewriteLocked(recs)
@@ -266,7 +269,8 @@ func (s *Service) recoverPending(pending []recoveredJob) {
 		id := r.id
 		created := false
 		_, err = s.flight.Do(key, func() (*Job, error) {
-			nj := s.register(id, norm, key, plan)
+			nj := s.register(id, r.trace, norm, key, plan)
+			s.span(nj, "recover", "re-run from journal after restart", 0)
 			if perr := s.submitToPool(nj); perr != nil {
 				if errors.Is(perr, par.ErrPoolFull) {
 					// A recovery flood deeper than the queue: keep the
@@ -299,7 +303,7 @@ func (s *Service) liveRecords() []journalRecord {
 	var recs []journalRecord
 	for _, j := range s.Jobs() {
 		if !j.Snapshot().Terminal() {
-			recs = append(recs, journalRecord{Op: opSubmit, ID: j.ID, Req: j.Req})
+			recs = append(recs, journalRecord{Op: opSubmit, ID: j.ID, Trace: j.TraceID, Req: j.Req})
 		}
 	}
 	return recs
@@ -329,7 +333,8 @@ func (s *Service) Submit(req *JobRequest) (j *Job, cached bool, err error) {
 		if aerr := s.admit(norm); aerr != nil {
 			return nil, aerr
 		}
-		nj := s.register("", norm, key, plan)
+		nj := s.register("", "", norm, key, plan)
+		s.span(nj, "submit", "", 0)
 		if perr := s.submitToPool(nj); perr != nil {
 			s.evict(nj)
 			if errors.Is(perr, par.ErrPoolFull) {
@@ -341,10 +346,12 @@ func (s *Service) Submit(req *JobRequest) (j *Job, cached bool, err error) {
 			return nil, perr
 		}
 		created = true
+		s.span(nj, "queue", "", 0)
 		// The durability barrier: the job is on disk before the client
 		// hears 202, so an acknowledged job is always recovered.
 		if s.journal != nil {
-			s.journal.appendSync(journalRecord{Op: opSubmit, ID: nj.ID, Req: nj.Req})
+			s.journal.appendSync(journalRecord{Op: opSubmit, ID: nj.ID, Trace: nj.TraceID, Req: nj.Req})
+			s.span(nj, "journal-commit", "", 0)
 		}
 		return nj, nil
 	})
@@ -420,15 +427,20 @@ func (s *Service) retryDelay(attempt int) time.Duration {
 // journal, or the next sequential id — counts it queued, and evicts old
 // finished jobs beyond the retention bound. An evicted job's cache key
 // is forgotten only while that job still owns it — a newer retained job
-// under the same key keeps its cache entry.
-func (s *Service) register(id string, req *JobRequest, key string, plan *jobPlan) *Job {
+// under the same key keeps its cache entry. A fresh submission mints a
+// trace id here; recovery passes the previous epoch's id through, so
+// one trace spans the journal gap.
+func (s *Service) register(id, traceID string, req *JobRequest, key string, plan *jobPlan) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if id == "" {
 		s.nextID++
 		id = fmt.Sprintf("j%d", s.nextID)
 	}
-	j := newJob(id, req, key, s)
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+	j := newJob(id, traceID, req, key, s)
 	j.plan = plan
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+
+	"teem/internal/obs"
+)
+
+// traceKeep bounds the service-wide span ring: the last traceKeep spans
+// are replayable by /trace subscribers; older spans age out. The journal
+// and per-job telemetry streams remain the durable records — the ring is
+// the low-cost live view.
+const traceKeep = 4096
+
+// tracer is the service-wide flight of job lifecycle spans: every job
+// emits submit/queue/run/retry/journal-commit/terminal spans here (in
+// addition to stamping them on its own telemetry stream), and GET /trace
+// replays the ring and optionally follows it live. Unlike a job's
+// streamBuf the tracer never closes — it lives as long as the service —
+// so followers stop on their own context, not on end-of-stream.
+type tracer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// spans is a ring of NDJSON-encoded spans; start is the absolute
+	// sequence number of spans[0], so a follower survives eviction.
+	spans [][]byte //teem:guards mu
+	start int64    //teem:guards mu
+}
+
+func newTracer() *tracer {
+	t := &tracer{}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// emit appends one span to the ring, evicting the oldest past traceKeep.
+// Spans that fail to marshal are dropped: tracing is observability, not
+// the system of record.
+func (t *tracer) emit(sp obs.Span) {
+	raw, err := json.Marshal(sp)
+	if err != nil {
+		return
+	}
+	raw = append(raw, '\n')
+	t.mu.Lock()
+	t.spans = append(t.spans, raw)
+	if len(t.spans) > traceKeep {
+		n := len(t.spans) - traceKeep
+		t.spans = append(t.spans[:0], t.spans[n:]...)
+		t.start += int64(n)
+	}
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// wake prods blocked followers so they can notice a cancelled context.
+func (t *tracer) wake() {
+	t.mu.Lock()
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// waitFrom returns every buffered span at or after absolute sequence
+// seq, blocking while nothing newer exists (unless ctx is already
+// cancelled). It returns the lines and the sequence to resume from.
+// A seq older than the ring start resumes at the start — the aged-out
+// spans are gone.
+func (t *tracer) waitFrom(ctx context.Context, seq int64, block bool) (lines [][]byte, next int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for block && seq >= t.start+int64(len(t.spans)) && ctx.Err() == nil {
+		t.cond.Wait()
+	}
+	if seq < t.start {
+		seq = t.start
+	}
+	if i := seq - t.start; i < int64(len(t.spans)) {
+		lines = t.spans[i:]
+	}
+	return lines, t.start + int64(len(t.spans))
+}
+
+// span emits one lifecycle span for a job to the service-wide tracer.
+// The timestamp is stamped here so every emission site stays one line.
+func (s *Service) span(j *Job, phase, detail string, attempt int) {
+	s.tracer.emit(obs.Span{
+		Trace:   j.TraceID,
+		Job:     j.ID,
+		Phase:   phase,
+		At:      now().UTC(),
+		Tenant:  j.Req.Tenant,
+		Attempt: attempt,
+		Detail:  detail,
+	})
+}
+
+// Trace replays the service-wide span ring from the beginning, invoking
+// emit for every NDJSON line. With follow it then blocks for new spans
+// until ctx is cancelled or emit fails; without, it returns after the
+// replay — the snapshot mode tooling uses to poll.
+func (s *Service) Trace(ctx context.Context, follow bool, emit func(line []byte) error) error {
+	stop := context.AfterFunc(ctx, s.tracer.wake)
+	defer stop()
+	var seq int64
+	for {
+		lines, next := s.tracer.waitFrom(ctx, seq, follow)
+		for _, ln := range lines {
+			if err := emit(ln); err != nil {
+				return err
+			}
+		}
+		seq = next
+		if err := ctx.Err(); err != nil {
+			if !follow {
+				return nil
+			}
+			return err
+		}
+		if !follow && len(lines) == 0 {
+			return nil
+		}
+	}
+}

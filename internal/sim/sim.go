@@ -46,6 +46,7 @@ import (
 	"fmt"
 
 	"teem/internal/mapping"
+	"teem/internal/obs"
 	"teem/internal/power"
 	"teem/internal/powermeter"
 	"teem/internal/soc"
@@ -166,6 +167,14 @@ type Config struct {
 	// error wrapping ErrAborted within one tick of it closing. Wire a
 	// context's Done() channel here to cancel a simulation.
 	Done <-chan struct{}
+	// Clock, when non-nil, opts the flight recorder into per-phase wall
+	// timing: the engine reads it between the tick's phases (governor,
+	// queue, power, thermal) and accumulates the deltas into
+	// Result.Stats. Pass obs.Nanotime (teemscenario -stats does). The
+	// default nil performs zero clock reads, keeping runs deterministic
+	// and the instrumented tick free of timing overhead; the counters in
+	// Result.Stats are always maintained either way.
+	Clock func() int64
 	// OnSample, when non-nil, is invoked synchronously for every trace
 	// sample the engine records, right after it is appended — the
 	// trace-subscriber hook streaming consumers build on: telemetry is
@@ -242,6 +251,10 @@ type Result struct {
 	JobCancels []JobCancel
 	// Trace is the recorded time series.
 	Trace *trace.Trace
+	// Stats is the engine flight recorder: ticks vs supersteps, guard
+	// rejection reasons, cache hit rates, governor/TMU activity, and —
+	// when Config.Clock was supplied — per-phase wall time.
+	Stats obs.RunStats
 }
 
 // Engine executes one configured run.
@@ -343,6 +356,13 @@ type Engine struct {
 	govPure     bool
 	govStable   bool
 	govUtils    []float64
+
+	// stats is the flight recorder: plain int64 counters bumped on the
+	// hot paths (never through an interface or atomic, so increments are
+	// single instructions and allocate nothing). clock is the pre-acquired
+	// wall-clock func from Config.Clock — nil means no timing reads.
+	stats obs.RunStats
+	clock func() int64
 
 	running        bool
 	jobFinishes    []JobFinish
@@ -468,6 +488,14 @@ func New(cfg Config) (*Engine, error) {
 		stepper: stepper,
 		pow:     pow,
 		meter:   powermeter.New(),
+	}
+	e.clock = cfg.Clock
+	if stepper != nil {
+		if stepper.CacheHit() {
+			e.stats.PropCacheHits++
+		} else {
+			e.stats.PropCacheMisses++
+		}
 	}
 	e.meter.Reserve(int(cfg.MaxTimeS) + 2)
 	e.nodeOf = make([]int, len(cfg.Platform.Clusters))
@@ -1213,8 +1241,22 @@ func (e *Engine) Run() (*Result, error) {
 		JobFinishes:     e.jobFinishes,
 		JobCancels:      e.jobCancels,
 		Trace:           e.tr,
+		Stats:           e.collectStats(),
 	}
 	return res, nil
+}
+
+// collectStats snapshots the flight recorder, folding in the jump-block
+// cache counters of the pooled superstep maps (evicted maps folded their
+// counts in at eviction).
+func (e *Engine) collectStats() obs.RunStats {
+	s := e.stats
+	for _, ss := range e.ssPool {
+		h, m := ss.BlockCacheStats()
+		s.JumpBlockHits += h
+		s.JumpBlockMisses += m
+	}
+	return s
 }
 
 // tick advances one simulation step of dt seconds: scheduled events,
@@ -1245,17 +1287,32 @@ func (e *Engine) tick(dt float64) (finishedAt float64, err error) {
 	if !e.cfg.DisableHWProtect {
 		e.hwProtect()
 	}
+	// Flight recorder: one tick executed. Per-phase timing below reads
+	// the pre-acquired clock only when the caller opted in (clk != nil);
+	// the default run performs zero clock reads.
+	e.stats.Ticks++
+	clk := e.clock
+	var t0 int64
+	if clk != nil {
+		t0 = clk()
+	}
 	// Governor control step. An epoch of a util-only policy that changed
 	// no frequency is a fixed point: record the utilisations it saw so
 	// supersteps may cross later epochs while they (and the frequencies,
 	// guarded by setFreq) stay unchanged.
 	if e.govEvery > 0 && e.timeTicks%e.govEvery == 0 {
+		e.stats.GovernorEpochs++
 		pre := e.transitions
 		copy(e.govUtils, e.utils)
 		if err := e.cfg.Governor.Act(e); err != nil {
 			return -1, err
 		}
 		e.govStable = e.govPure && e.transitions == pre
+	}
+	if clk != nil {
+		t1 := clk()
+		e.stats.GovernorNanos += t1 - t0
+		t0 = t1
 	}
 	// Advance workload. Only clusters the live mapping uses report the
 	// CPU busy fraction: governors must see idle silicon as idle, not
@@ -1271,13 +1328,26 @@ func (e *Engine) tick(dt float64) (finishedAt float64, err error) {
 	e.utils[e.bigIdx] = bigBusy
 	e.utils[e.litIdx] = litBusy
 	e.utils[e.gpuIdx] = gpuBusy
+	if clk != nil {
+		t1 := clk()
+		e.stats.QueueNanos += t1 - t0
+		t0 = t1
+	}
 
 	// Power and thermal.
 	if err := e.evalPower(cpuBusy, gpuBusy, rateCPU, rateGPU); err != nil {
 		return -1, err
 	}
+	if clk != nil {
+		t1 := clk()
+		e.stats.PowerNanos += t1 - t0
+		t0 = t1
+	}
 	if err := e.stepThermal(dt); err != nil {
 		return -1, err
+	}
+	if clk != nil {
+		e.stats.ThermalNanos += clk() - t0
 	}
 	if t := e.therm.Temp(e.nodeOf[e.bigIdx]); t > e.peakBigC {
 		e.peakBigC = t
@@ -1315,6 +1385,7 @@ func (e *Engine) hwProtect() {
 	case !e.throttled && t >= e.plat.TripC:
 		e.throttled = true
 		e.throttleEvents++
+		e.stats.TMUTrips++
 		e.preThrottleMHz = e.freqs[e.bigIdx]
 		capMHz := big.FloorOPP(e.plat.TripCapMHz).FreqMHz
 		if e.freqs[e.bigIdx] > capMHz {
@@ -1323,6 +1394,7 @@ func (e *Engine) hwProtect() {
 		}
 	case e.throttled && t < e.plat.TripReleaseC:
 		e.throttled = false
+		e.stats.TMUReleases++
 		if e.preThrottleMHz > e.freqs[e.bigIdx] {
 			e.setFreq(e.bigIdx, e.preThrottleMHz)
 			e.transitions++

@@ -88,6 +88,7 @@ func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 	}
 	if !e.cfg.DisableHWProtect && e.throttled {
 		// While throttled the release check may fire on any tick.
+		e.stats.RejectTMU++
 		return false, nil
 	}
 	if e.peakTemps == nil {
@@ -101,6 +102,7 @@ func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 		// A recent probe reported a mixed trajectory direction; the system
 		// is hovering near equilibrium and the probe outcome will not
 		// change until the horizon that jump was bounded by.
+		e.stats.RejectWork++
 		return false, nil
 	}
 	// Keep the final tick before MaxTimeS an ordinary one so an aborted
@@ -117,6 +119,7 @@ func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 		}
 	}
 	if n < superstepMinSpan {
+		e.stats.RejectEvent++
 		return false, nil
 	}
 	// The meter latches the instantaneous power at its sampling instants;
@@ -131,6 +134,7 @@ func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 		n = m
 	}
 	if n < superstepMinSpan {
+		e.stats.RejectMeter++
 		return false, nil
 	}
 	// Steady-interval classification: a busy chunk must stay fully busy
@@ -163,6 +167,7 @@ func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 	if e.curMap.Little == 0 {
 		litBusy = 0
 	}
+	govClamped := false
 	if e.govEvery > 0 {
 		// Epochs may be crossed only when the policy is a marked pure
 		// fixed point AND the utilisations the skipped epochs would see
@@ -189,19 +194,29 @@ func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 		if !cross {
 			r := k % e.govEvery
 			if r == 0 {
+				e.stats.RejectGovernor++
 				return false, nil
 			}
 			if m := e.govEvery - r; m < n {
 				n = m
+				govClamped = true
 			}
 		}
 	}
 	if n < superstepMinSpan {
+		// The span died on whichever clamp shrank it last: a governor
+		// epoch boundary, or a work chunk about to deplete.
+		if govClamped {
+			e.stats.RejectGovernor++
+		} else {
+			e.stats.RejectWork++
+		}
 		return false, nil
 	}
 	bigNode := e.nodeOf[e.bigIdx]
 	if !e.cfg.DisableHWProtect && e.therm.Temp(bigNode) >= e.plat.TripC {
 		// The trip would fire on this tick's protection check.
+		e.stats.RejectTMU++
 		return false, nil
 	}
 	// Abort poll, once per jump — the same bound as one tick of the
@@ -269,6 +284,7 @@ func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 		for _, ss := range e.ssPool {
 			if equalFloats(ss.Slope(), e.ssSlopeCur) {
 				e.ss = ss
+				e.stats.PoolHits++
 				break
 			}
 		}
@@ -280,7 +296,13 @@ func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 				e.ssOff = true
 				return false, nil
 			}
+			e.stats.PoolMisses++
 			if len(e.ssPool) >= ssPoolLimit {
+				// Fold the evicted map's jump-block cache counters into
+				// the flight recorder before it goes unreachable.
+				h, m := e.ssPool[0].BlockCacheStats()
+				e.stats.JumpBlockHits += h
+				e.stats.JumpBlockMisses += m
 				copy(e.ssPool, e.ssPool[1:])
 				e.ssPool = e.ssPool[:len(e.ssPool)-1]
 			}
@@ -297,6 +319,7 @@ func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 	// interior.
 	for i, s := range e.ssSlopeCur {
 		if s > 0 && e.therm.Temp(i) < 25 {
+			e.stats.RejectLeakage++
 			return false, nil
 		}
 	}
@@ -309,15 +332,18 @@ func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 		// Skip further attempts across this horizon — near equilibrium the
 		// probe stays mixed, and ticking is always correct.
 		e.ssSkipUntil = k + n
+		e.stats.RejectWork++
 		return false, nil
 	}
 	if !e.cfg.DisableHWProtect && endTemps[bigNode] >= e.plat.TripC {
 		// The trip would fire somewhere inside the interval; let fixed
 		// ticks find the exact crossing.
+		e.stats.RejectTMU++
 		return false, nil
 	}
 	for i, s := range e.ssSlopeCur {
 		if s > 0 && endTemps[i] < 25 {
+			e.stats.RejectLeakage++
 			return false, nil
 		}
 	}
@@ -355,6 +381,11 @@ func (e *Engine) superstep(dt float64, maxTicks, minTicks int) (bool, error) {
 	e.utils[e.litIdx] = litBusy
 	e.utils[e.gpuIdx] = gpuBusy
 	e.timeTicks += n
+	e.stats.Supersteps++
+	e.stats.SuperstepTicks += int64(n)
+	if int64(n) > e.stats.MaxJump {
+		e.stats.MaxJump = int64(n)
+	}
 	return true, nil
 }
 

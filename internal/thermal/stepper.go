@@ -41,6 +41,9 @@ type Stepper struct {
 	// temperature each step, so SetAmbientC keeps working mid-run.
 	ambGain []float64
 	scratch []float64
+	// cacheHit records whether the propagator came out of propCache —
+	// surfaced through CacheHit for the engine flight recorder.
+	cacheHit bool
 }
 
 // propagator holds the shared, read-only precomputed matrices of one
@@ -96,12 +99,13 @@ func (m *Model) NewStepper(dt float64) (*Stepper, error) {
 	if v, ok := propCache.Load(key); ok {
 		p := v.(*propagator)
 		return &Stepper{
-			m:       m,
-			dt:      dt,
-			a:       p.a,
-			bp:      p.bp,
-			ambGain: p.ambGain,
-			scratch: make([]float64, n),
+			m:        m,
+			dt:       dt,
+			a:        p.a,
+			bp:       p.bp,
+			ambGain:  p.ambGain,
+			scratch:  make([]float64, n),
+			cacheHit: true,
 		}, nil
 	}
 	// H = M·dt = −C⁻¹·G·dt.
@@ -146,6 +150,10 @@ func (m *Model) NewStepper(dt float64) (*Stepper, error) {
 
 // Model returns the model this stepper advances.
 func (s *Stepper) Model() *Model { return s.m }
+
+// CacheHit reports whether this stepper reused a cached propagator
+// instead of computing the matrix exponential.
+func (s *Stepper) CacheHit() bool { return s.cacheHit }
 
 // Dt returns the fixed step the propagator was built for.
 func (s *Stepper) Dt() float64 { return s.dt }

@@ -81,6 +81,11 @@ type Superstep struct {
 	// planned end temperatures.
 	bvec, t1, tn []float64
 	planned      bool
+	// blockHits/blockMisses count jump-block lookups through this
+	// instance (per-instance table or superCache hit vs a doubling
+	// build) for the engine flight recorder. Plain increments: the
+	// instance is single-goroutine by contract.
+	blockHits, blockMisses int64
 }
 
 // NewSuperstep builds the affine jump map for the stepper's system and
@@ -126,6 +131,13 @@ func NewSuperstep(st *Stepper, slopeWPerC []float64) (*Superstep, error) {
 
 // Slope returns the leakage-slope vector the map was built for (read-only).
 func (ss *Superstep) Slope() []float64 { return ss.slope }
+
+// BlockCacheStats reports the jump-block lookups served from a cache
+// (the per-instance table or the process-wide superCache) versus built
+// by doubling, for the engine flight recorder.
+func (ss *Superstep) BlockCacheStats() (hits, misses int64) {
+	return ss.blockHits, ss.blockMisses
+}
 
 // Jump plans an n-tick advance of the bound model under the constant
 // power injection constInjW (per node, watts — the temperature-independent
@@ -247,15 +259,21 @@ func (ss *Superstep) Commit() error {
 // (system, dt, slope), so the cache stays small no matter how many
 // distinct horizons a run jumps.
 func (ss *Superstep) block(k int) *ssPair {
+	if k < len(ss.blocks) {
+		ss.blockHits++
+		return ss.blocks[k]
+	}
 	for len(ss.blocks) <= k {
 		kk := len(ss.blocks)
 		var kb [8]byte
 		binary.LittleEndian.PutUint64(kb[:], uint64(kk))
 		key := ss.keyPre + string(kb[:])
 		if v, ok := superCache.Load(key); ok {
+			ss.blockHits++
 			ss.blocks = append(ss.blocks, v.(*ssPair))
 			continue
 		}
+		ss.blockMisses++
 		n := ss.st.m.n
 		var p *ssPair
 		if kk == 0 {
