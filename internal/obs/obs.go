@@ -38,9 +38,16 @@ var traceCounter atomic.Uint64
 func NewTraceID() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		return fmt.Sprintf("t%015x", traceCounter.Add(1))
+		return fallbackTraceID()
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// fallbackTraceID mints a collision-proof id when the entropy source is
+// unavailable. It keeps the same 16-hex-char shape as the random path
+// so consumers see one format either way.
+func fallbackTraceID() string {
+	return fmt.Sprintf("%016x", traceCounter.Add(1))
 }
 
 // Span is one NDJSON trace event on teemd's /trace stream: a point in a
@@ -49,6 +56,11 @@ func NewTraceID() string {
 // job's trace id, so a job's life is reconstructable post-mortem by
 // grepping one id across the submit response, the telemetry stream,
 // the journal, and /trace — including across daemon restarts.
+//
+// Ordering: "submit" and "queue" precede every other span of a trace,
+// but the journal commit runs concurrently with the worker, so
+// "journal-commit" may interleave with or follow "run". Consumers that
+// need causal order should sort by At rather than stream position.
 type Span struct {
 	Trace   string    `json:"trace"`
 	Job     string    `json:"job,omitempty"`

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -163,6 +164,21 @@ func TestNewTraceID(t *testing.T) {
 	}
 	if len(a) != 16 {
 		t.Errorf("trace id %q has length %d, want 16", a, len(a))
+	}
+}
+
+// The entropy-failure fallback must keep the documented 16-hex-char
+// shape, not a distinguishable variant.
+func TestFallbackTraceIDFormat(t *testing.T) {
+	hexID := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	a, b := fallbackTraceID(), fallbackTraceID()
+	if a == b {
+		t.Errorf("fallback trace ids collide: %s", a)
+	}
+	for _, id := range []string{a, b} {
+		if !hexID.MatchString(id) {
+			t.Errorf("fallback trace id %q is not 16 hex chars", id)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -284,12 +285,40 @@ func (v *Metrics) prom() []byte {
 }
 
 // wantsProm reports whether the request negotiates the Prometheus text
-// exposition: any Accept header mentioning text/plain or openmetrics.
-// Everything else — including no Accept at all — gets the original JSON
-// document, byte-stable for existing scrapers and the soak tests.
+// exposition: an Accept media range whose type is text/plain or an
+// openmetrics dialect, with a non-zero quality (q=0 is an explicit
+// refusal, RFC 9110 §12.4.2). Everything else — including no Accept at
+// all — gets the original JSON document, byte-stable for existing
+// scrapers and the soak tests.
 func wantsProm(r *http.Request) bool {
-	accept := strings.ToLower(r.Header.Get("Accept"))
-	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+	for _, rng := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediaType, params, _ := strings.Cut(rng, ";")
+		mt := strings.ToLower(strings.TrimSpace(mediaType))
+		if mt != "text/plain" && !strings.Contains(mt, "openmetrics") {
+			continue
+		}
+		if acceptQ(params) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptQ extracts the q weight from one media range's parameters,
+// defaulting to 1 when absent or malformed.
+func acceptQ(params string) float64 {
+	for _, p := range strings.Split(params, ";") {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || strings.ToLower(strings.TrimSpace(k)) != "q" {
+			continue
+		}
+		q, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return 1
+		}
+		return q
+	}
+	return 1
 }
 
 // ServeHTTP serves the metric set (the /metrics endpoint): Prometheus

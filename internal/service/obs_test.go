@@ -90,6 +90,73 @@ func TestMetricsPromExposition(t *testing.T) {
 	}
 }
 
+// Content negotiation must honour media-range qualities: q=0 is an
+// explicit refusal of a dialect, and unrelated ranges merely mentioning
+// the magic strings must not flip the format.
+func TestWantsPromQualityNegotiation(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"application/json", false},
+		{"text/plain", true},
+		{"text/plain; version=0.0.4", true},
+		{obs.ContentType, true},
+		{"application/openmetrics-text; version=1.0.0", true},
+		{"text/plain;q=0", false},
+		{"text/plain; q=0.0", false},
+		{"text/plain;q=0, application/json", false},
+		{"text/plain;q=0.5, application/json", true},
+		{"application/json, text/plain; version=0.0.4; q=1", true},
+		{"text/html", false},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest("GET", "/metrics", nil)
+		if c.accept != "" {
+			req.Header.Set("Accept", c.accept)
+		}
+		if got := wantsProm(req); got != c.want {
+			t.Errorf("wantsProm(Accept: %q) = %v, want %v", c.accept, got, c.want)
+		}
+	}
+}
+
+// The ring's eviction path shifts elements within its backing array, so
+// readers must get a copy, never an aliasing sub-slice. This hammers
+// concurrent emits past traceKeep against snapshot reads — the -race
+// guard for that invariant.
+func TestTracerEvictionRace(t *testing.T) {
+	const total = 3 * traceKeep
+	tr := newTracer()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			tr.emit(obs.Span{Trace: "deadbeefdeadbeef", Phase: "run", Attempt: i})
+		}
+	}()
+	read := func(seq int64) int64 {
+		lines, next := tr.waitFrom(context.Background(), seq, false)
+		for _, ln := range lines {
+			var sp obs.Span
+			if err := json.Unmarshal(ln, &sp); err != nil {
+				t.Errorf("torn span line %q: %v", ln, err)
+			}
+		}
+		return next
+	}
+	var seq int64
+	for seq < total {
+		seq = read(seq)
+	}
+	wg.Wait()
+	if got := read(0); got != total {
+		t.Fatalf("final ring sequence = %d, want %d", got, total)
+	}
+}
+
 // The exposition and JSON snapshots must be safe to take while the
 // service is churning — this is the -race hammer for the metrics layer.
 func TestMetricsSnapshotUnderLoad(t *testing.T) {
@@ -162,7 +229,7 @@ func TestTraceSpansLifecycle(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	phases := map[string]bool{}
+	phases := map[string]int{}
 	for _, sp := range spans {
 		if sp.Trace != js.TraceID {
 			continue
@@ -173,12 +240,20 @@ func TestTraceSpansLifecycle(t *testing.T) {
 		if sp.Tenant != "acme" {
 			t.Errorf("span %s carries tenant %q, want acme", sp.Phase, sp.Tenant)
 		}
-		phases[sp.Phase] = true
+		if _, seen := phases[sp.Phase]; !seen {
+			phases[sp.Phase] = len(phases)
+		}
 	}
 	for _, want := range []string{"submit", "queue", "run", "done"} {
-		if !phases[want] {
+		if _, ok := phases[want]; !ok {
 			t.Errorf("no %q span for trace %s (got %v)", want, js.TraceID, phases)
 		}
+	}
+	// submit and queue are emitted before the pool handoff, so they must
+	// precede run in stream order (journal-commit is concurrent and
+	// exempt — see obs.Span).
+	if phases["submit"] > phases["run"] || phases["queue"] > phases["run"] {
+		t.Errorf("lifecycle spans out of order: %v", phases)
 	}
 }
 

@@ -335,6 +335,13 @@ func (s *Service) Submit(req *JobRequest) (j *Job, cached bool, err error) {
 		}
 		nj := s.register("", "", norm, key, plan)
 		s.span(nj, "submit", "", 0)
+		// The "queue" span precedes the pool handoff: once SubmitTask
+		// returns, a worker may already be running the job, so emitting
+		// afterwards could place "queue" after "run" in the trace. A
+		// pool rejection below leaves a submit+queue pair with no
+		// terminal span — the trace of a request that never became a
+		// job.
+		s.span(nj, "queue", "", 0)
 		if perr := s.submitToPool(nj); perr != nil {
 			s.evict(nj)
 			if errors.Is(perr, par.ErrPoolFull) {
@@ -346,9 +353,10 @@ func (s *Service) Submit(req *JobRequest) (j *Job, cached bool, err error) {
 			return nil, perr
 		}
 		created = true
-		s.span(nj, "queue", "", 0)
 		// The durability barrier: the job is on disk before the client
-		// hears 202, so an acknowledged job is always recovered.
+		// hears 202, so an acknowledged job is always recovered. The
+		// commit genuinely happens concurrently with the worker, so its
+		// span may interleave with (or follow) "run" — see obs.Span.
 		if s.journal != nil {
 			s.journal.appendSync(journalRecord{Op: opSubmit, ID: nj.ID, Trace: nj.TraceID, Req: nj.Req})
 			s.span(nj, "journal-commit", "", 0)

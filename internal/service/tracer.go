@@ -77,7 +77,11 @@ func (t *tracer) waitFrom(ctx context.Context, seq int64, block bool) (lines [][
 		seq = t.start
 	}
 	if i := seq - t.start; i < int64(len(t.spans)) {
-		lines = t.spans[i:]
+		// Copy the slice headers under the lock: emit's eviction path
+		// shifts elements within the ring's backing array, so handing
+		// out an aliasing sub-slice would race with writers. The []byte
+		// contents themselves are write-once, so a shallow copy is safe.
+		lines = append([][]byte(nil), t.spans[i:]...)
 	}
 	return lines, t.start + int64(len(t.spans))
 }
